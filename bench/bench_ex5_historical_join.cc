@@ -1,0 +1,78 @@
+// Example 5: the stream-table join comparing current metrics against the
+// same metrics one period ago, read window-consistently from the active
+// table. Measures the cost of each comparison evaluation as history
+// accumulates (it should stay flat with an index, grow slowly without).
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace streamrel::bench {
+namespace {
+
+void BM_HistoricalComparison(benchmark::State& state) {
+  const bool with_index = state.range(0) != 0;
+  const int64_t history_minutes = state.range(1);
+
+  engine::Database db;
+  Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+  Check(db.Execute("CREATE STREAM urls_now AS SELECT sum(1) AS scnt, "
+                   "cq_close(*) AS stime FROM url_stream "
+                   "<VISIBLE '1 minute'> ")
+            .status(),
+        "derived");
+  Check(db.Execute("CREATE TABLE urls_archive (scnt bigint, stime "
+                   "timestamp);"
+                   "CREATE CHANNEL ch FROM urls_now INTO urls_archive")
+            .status(),
+        "channel");
+  if (with_index) {
+    Check(db.Execute("CREATE INDEX archive_stime ON urls_archive (stime)")
+              .status(),
+          "index");
+  }
+  // The paper's Example 5, with the window shifted one minute back.
+  auto compare = CheckResult(
+      db.CreateContinuousQuery(
+          "compare",
+          "select c.scnt, h.scnt, c.stime from "
+          "(select sum(scnt) as scnt, cq_close(*) as stime "
+          " from urls_now <slices 1 windows>) c, urls_archive h "
+          "where c.stime - interval '1 minute' = h.stime"),
+      "cq");
+  int64_t comparisons = 0;
+  compare->AddCallback([&](int64_t, const std::vector<Row>& rows) {
+    comparisons += static_cast<int64_t>(rows.size());
+    return Status::OK();
+  });
+
+  // Accumulate history.
+  UrlClickWorkload workload(50, 200);
+  for (int64_t m = 0; m < history_minutes; ++m) {
+    Check(db.Ingest("url_stream", workload.NextBatch(200 * 60)), "ingest");
+    Check(db.AdvanceTime("url_stream", (m + 1) * kMin), "hb");
+  }
+
+  // Timed region: one more window close per iteration; each evaluates the
+  // Example 5 join against the ever-growing archive.
+  int64_t close = history_minutes * kMin;
+  for (auto _ : state) {
+    close += kMin;
+    Check(db.AdvanceTime("url_stream", close), "close");
+  }
+  state.counters["history_windows"] = static_cast<double>(history_minutes);
+  state.counters["indexed"] = with_index ? 1 : 0;
+  benchmark::DoNotOptimize(comparisons);
+}
+BENCHMARK(BM_HistoricalComparison)
+    ->Args({0, 60})
+    ->Args({0, 480})
+    ->Args({1, 60})
+    ->Args({1, 480})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(20);
+
+}  // namespace
+}  // namespace streamrel::bench
+
+BENCHMARK_MAIN();

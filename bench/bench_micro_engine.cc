@@ -1,0 +1,165 @@
+// Microbenchmarks for the engine's building blocks: SQL parsing,
+// expression evaluation, aggregation states, B+Tree operations, heap scan,
+// and WAL append. These bound what the macro experiments can achieve and
+// catch regressions in the hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/binder.h"
+#include "sql/parser.h"
+#include "storage/btree_index.h"
+#include "workloads.h"
+
+namespace streamrel::bench {
+namespace {
+
+void BM_ParseSelect(benchmark::State& state) {
+  const std::string sql =
+      "SELECT url, count(*) url_count "
+      "FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> "
+      "WHERE client_ip LIKE '10.%' GROUP by url "
+      "ORDER by url_count desc LIMIT 10";
+  for (auto _ : state) {
+    auto stmt = sql::ParseSingleStatement(sql);
+    benchmark::DoNotOptimize(stmt.ok());
+  }
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_ExprEval(benchmark::State& state) {
+  Schema schema({Column("a", DataType::kInt64),
+                 Column("b", DataType::kInt64),
+                 Column("s", DataType::kString)});
+  auto ast = sql::ParseExpression("a * 2 + b % 7 > 10 AND s LIKE 'k%'");
+  exec::ExprBinder binder(schema);
+  auto bound = binder.BindScalar(**ast);
+  Row row{Value::Int64(42), Value::Int64(13), Value::String("k9")};
+  exec::EvalContext ctx;
+  for (auto _ : state) {
+    auto v = (*bound)->Eval(row, ctx);
+    benchmark::DoNotOptimize(v.ok());
+  }
+}
+BENCHMARK(BM_ExprEval);
+
+void BM_AggregateUpdate(benchmark::State& state) {
+  auto sum = exec::MakeAggState("sum", false, false).TakeValue();
+  Value v = Value::Int64(17);
+  for (auto _ : state) {
+    sum->Update(v);
+  }
+  benchmark::DoNotOptimize(sum->Final());
+}
+BENCHMARK(BM_AggregateUpdate);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  storage::BTreeIndex index("k");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    index.Insert(Value::Int64(static_cast<int64_t>((i * 2654435761u) %
+                                                   1000000)),
+                 i);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  storage::BTreeIndex index("k");
+  for (int64_t i = 0; i < 100000; ++i) {
+    index.Insert(Value::Int64(i), static_cast<storage::RowId>(i));
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 37) % 100000;
+    int64_t hits = 0;
+    index.ScanEqual(Value::Int64(probe), [&](storage::RowId) {
+      ++hits;
+      return true;
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_HeapScan(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  engine::Database db;
+  Check(db.Execute(UrlClickWorkload::TableDdl()).status(), "ddl");
+  UrlClickWorkload workload(100, 1000);
+  BulkLoad(&db, "url_log", workload.NextBatch(static_cast<size_t>(rows)));
+  auto* table = db.catalog()->GetTable("url_log");
+  for (auto _ : state) {
+    int64_t n = 0;
+    Check(table->heap->Scan(*db.txns(), db.txns()->CurrentSnapshot(),
+                            storage::kInvalidTxn,
+                            [&](storage::RowId, const Row&) {
+                              ++n;
+                              return true;
+                            }),
+          "scan");
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(rows * state.iterations());
+}
+BENCHMARK(BM_HeapScan)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_WalAppend(benchmark::State& state) {
+  auto disk = std::make_shared<storage::SimulatedDisk>();
+  storage::WriteAheadLog wal(disk);
+  storage::WalRecord record;
+  record.type = storage::WalRecordType::kInsert;
+  record.txn_id = 1;
+  record.object_name = "t";
+  record.row = {Value::Int64(42), Value::String("payload-payload"),
+                Value::Timestamp(123456789)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.Append(record).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_SnapshotAggregateQuery(benchmark::State& state) {
+  engine::Database db;
+  Check(db.Execute(UrlClickWorkload::TableDdl()).status(), "ddl");
+  UrlClickWorkload workload(100, 1000);
+  BulkLoad(&db, "url_log", workload.NextBatch(50000));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "SELECT url, count(*) FROM url_log GROUP BY url ORDER BY url");
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(50000 * state.iterations());
+}
+BENCHMARK(BM_SnapshotAggregateQuery)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoinQuery(benchmark::State& state) {
+  engine::Database db;
+  Check(db.Execute("CREATE TABLE a (k bigint, va bigint);"
+                   "CREATE TABLE b (k bigint, vb bigint)")
+            .status(),
+        "ddl");
+  std::mt19937 rng(1);
+  std::vector<Row> ra, rb;
+  for (int i = 0; i < 20000; ++i) {
+    ra.push_back({Value::Int64(rng() % 5000), Value::Int64(i)});
+  }
+  for (int i = 0; i < 5000; ++i) {
+    rb.push_back({Value::Int64(i), Value::Int64(i * 2)});
+  }
+  BulkLoad(&db, "a", ra);
+  BulkLoad(&db, "b", rb);
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "SELECT count(*) FROM a, b WHERE a.k = b.k AND vb % 2 = 0");
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_HashJoinQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace streamrel::bench
+
+BENCHMARK_MAIN();

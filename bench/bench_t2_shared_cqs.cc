@@ -1,0 +1,87 @@
+// Experiment T2 (paper Section 2.2, "jellybean processing"): N concurrent
+// aggregate continuous queries over one stream. With shared slice
+// aggregation, the per-row work is one pipeline update regardless of N;
+// with independent (generic) evaluation every CQ buffers and re-scans its
+// own window. The shape to verify: shared ingest cost stays near-flat in
+// N while independent cost grows linearly — and the gap widens with N.
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace streamrel::bench {
+namespace {
+
+/// Registers `n` dashboard metrics over url_stream. All share the same
+/// (stream, filter, group-by) signature so the shared path folds them into
+/// one slice pipeline; aggregate sets differ per CQ.
+void RegisterMetrics(engine::Database* db, int n, bool allow_shared) {
+  static const char* kAggSets[] = {
+      "count(*)",
+      "count(*), count(distinct client_ip)",
+      "count(*), min(atime)",
+      "count(*), max(atime)",
+  };
+  for (int i = 0; i < n; ++i) {
+    std::string sql = std::string("SELECT url, ") + kAggSets[i % 4] +
+                      " FROM url_stream "
+                      "<VISIBLE '5 minutes' ADVANCE '1 minute'> GROUP BY url";
+    Check(db->CreateContinuousQuery("metric_" + std::to_string(i), sql,
+                                    allow_shared)
+              .status(),
+          "create metric CQ");
+  }
+}
+
+void RunIngest(benchmark::State& state, bool allow_shared) {
+  const int num_cqs = static_cast<int>(state.range(0));
+  const int64_t rows = 60000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::Database db;
+    Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+    RegisterMetrics(&db, num_cqs, allow_shared);
+    UrlClickWorkload workload(/*url_cardinality=*/200, /*rows_per_sec=*/500);
+    state.ResumeTiming();
+
+    int64_t remaining = rows;
+    while (remaining > 0) {
+      size_t n = static_cast<size_t>(std::min<int64_t>(remaining, 4096));
+      Check(db.Ingest("url_stream", workload.NextBatch(n)), "ingest");
+      remaining -= static_cast<int64_t>(n);
+    }
+    Check(db.AdvanceTime("url_stream", workload.now() + 5 * kMin),
+          "heartbeat");
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["cqs"] = num_cqs;
+}
+
+void BM_SharedEvaluation(benchmark::State& state) {
+  RunIngest(state, /*allow_shared=*/true);
+}
+BENCHMARK(BM_SharedEvaluation)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_IndependentEvaluation(benchmark::State& state) {
+  RunIngest(state, /*allow_shared=*/false);
+}
+BENCHMARK(BM_IndependentEvaluation)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace streamrel::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Experiment T4 (paper Section 1.1, Network Effect #1): data volumes grow
+// ~173%-10x per year while hardware improves slower; under
+// store-first-query-later, analytics latency therefore grows with the
+// stored volume. The shape to verify: batch report time grows linearly
+// (super-linearly once the working set exceeds the buffer pool) in the
+// growth factor, while the continuous answer latency is flat because the
+// work was already done at arrival time.
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace streamrel::bench {
+namespace {
+
+constexpr int64_t kBaseRows = 10000;
+
+void BM_BatchReportVsGrowth(benchmark::State& state) {
+  const int64_t growth = state.range(0);  // 1x .. 32x
+  const int64_t rows = kBaseRows * growth;
+  // Fixed buffer pool: growth makes the data increasingly exceed memory.
+  engine::Database db(StoreFirstOptions(/*cache_pages=*/32));
+  Check(db.Execute(UrlClickWorkload::TableDdl()).status(), "ddl");
+  UrlClickWorkload workload(500, 1000);
+  BulkLoad(&db, "url_log", workload.NextBatch(static_cast<size_t>(rows)));
+
+  db.disk()->ResetStats();
+  for (auto _ : state) {
+    db.disk()->DropCache();
+    auto report = CheckResult(
+        db.Execute("SELECT url, count(*) AS hits FROM url_log "
+                   "GROUP BY url ORDER BY hits DESC LIMIT 10"),
+        "report");
+    benchmark::DoNotOptimize(report.rows.data());
+  }
+  state.counters["sim_io_ms"] = benchmark::Counter(
+      static_cast<double>(db.disk()->stats().simulated_io_micros) / 1000.0 /
+      static_cast<double>(state.iterations()));
+  state.counters["growth_x"] = static_cast<double>(growth);
+}
+BENCHMARK(BM_BatchReportVsGrowth)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_ContinuousReportVsGrowth(benchmark::State& state) {
+  const int64_t growth = state.range(0);
+  const int64_t rows = kBaseRows * growth;
+  engine::Database db(StoreFirstOptions(/*cache_pages=*/32));
+  Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+  Check(db.Execute("CREATE STREAM top_urls AS SELECT url, count(*) AS hits "
+                   "FROM url_stream <VISIBLE '5 minutes' ADVANCE "
+                   "'1 minute'> GROUP BY url")
+            .status(),
+        "derived");
+  Check(db.Execute("CREATE TABLE top_now (url varchar, hits bigint);"
+                   "CREATE CHANNEL ch FROM top_urls INTO top_now REPLACE")
+            .status(),
+        "channel");
+  UrlClickWorkload workload(500, 1000);
+  int64_t remaining = rows;
+  while (remaining > 0) {
+    size_t n = static_cast<size_t>(std::min<int64_t>(remaining, 4096));
+    Check(db.Ingest("url_stream", workload.NextBatch(n)), "ingest");
+    remaining -= static_cast<int64_t>(n);
+  }
+  Check(db.AdvanceTime("url_stream", workload.now() + kMin), "heartbeat");
+
+  db.disk()->ResetStats();
+  for (auto _ : state) {
+    db.disk()->DropCache();
+    auto report = CheckResult(
+        db.Execute("SELECT url, hits FROM top_now ORDER BY hits DESC "
+                   "LIMIT 10"),
+        "report");
+    benchmark::DoNotOptimize(report.rows.data());
+  }
+  state.counters["sim_io_ms"] = benchmark::Counter(
+      static_cast<double>(db.disk()->stats().simulated_io_micros) / 1000.0 /
+      static_cast<double>(state.iterations()));
+  state.counters["growth_x"] = static_cast<double>(growth);
+}
+BENCHMARK(BM_ContinuousReportVsGrowth)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace streamrel::bench
+
+BENCHMARK_MAIN();

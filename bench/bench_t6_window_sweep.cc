@@ -1,0 +1,101 @@
+// Experiment T6 (Section 3.1 + design decision 1): cost of the window
+// machinery as the slide factor (VISIBLE/ADVANCE) grows. The sliced
+// (paned) evaluation updates each slice once and merges V/A partials per
+// close; the naive generic path re-buffers and re-aggregates the full
+// window on every close, so its cost grows with the slide factor. Also
+// sweeps row-count windows (always generic).
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace streamrel::bench {
+namespace {
+
+constexpr int64_t kRows = 60000;
+
+void RunTimeWindow(benchmark::State& state, bool allow_shared) {
+  const int64_t slide_factor = state.range(0);  // VISIBLE = factor minutes
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::Database db;
+    Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+    std::string sql = "SELECT url, count(*) FROM url_stream <VISIBLE '" +
+                      std::to_string(slide_factor) +
+                      " minutes' ADVANCE '1 minute'> GROUP BY url";
+    Check(db.CreateContinuousQuery("w", sql, allow_shared).status(), "cq");
+    UrlClickWorkload workload(100, 500);
+    state.ResumeTiming();
+
+    int64_t remaining = kRows;
+    while (remaining > 0) {
+      size_t n = static_cast<size_t>(std::min<int64_t>(remaining, 4096));
+      Check(db.Ingest("url_stream", workload.NextBatch(n)), "ingest");
+      remaining -= static_cast<int64_t>(n);
+    }
+    Check(db.AdvanceTime("url_stream",
+                         workload.now() + slide_factor * kMin),
+          "heartbeat");
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(kRows) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["slide_factor"] = static_cast<double>(slide_factor);
+}
+
+void BM_SlicedWindows(benchmark::State& state) {
+  RunTimeWindow(state, /*allow_shared=*/true);
+}
+BENCHMARK(BM_SlicedWindows)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(15)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_NaiveRescanWindows(benchmark::State& state) {
+  RunTimeWindow(state, /*allow_shared=*/false);
+}
+BENCHMARK(BM_NaiveRescanWindows)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(15)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_RowCountWindows(benchmark::State& state) {
+  const int64_t visible_rows = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::Database db;
+    Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+    std::string sql = "SELECT count(*) FROM url_stream <VISIBLE " +
+                      std::to_string(visible_rows) + " ROWS ADVANCE " +
+                      std::to_string(visible_rows / 4) + " ROWS>";
+    Check(db.CreateContinuousQuery("w", sql).status(), "cq");
+    UrlClickWorkload workload(100, 500);
+    state.ResumeTiming();
+
+    int64_t remaining = kRows;
+    while (remaining > 0) {
+      size_t n = static_cast<size_t>(std::min<int64_t>(remaining, 4096));
+      Check(db.Ingest("url_stream", workload.NextBatch(n)), "ingest");
+      remaining -= static_cast<int64_t>(n);
+    }
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(kRows) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RowCountWindows)
+    ->Arg(400)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace streamrel::bench
+
+BENCHMARK_MAIN();

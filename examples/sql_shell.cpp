@@ -1,0 +1,299 @@
+// An interactive TruSQL shell over the StreamRel engine.
+//
+//   $ ./example_sql_shell
+//   streamrel> CREATE STREAM s (v bigint, ts timestamp CQTIME USER);
+//   streamrel> SELECT sum(v) FROM s <VISIBLE '1 minute'>;
+//   started continuous query cq_1 (results print at each window close)
+//   streamrel> INSERT INTO s VALUES (5, timestamp '2009-01-05 09:00:10');
+//   streamrel> \advance s 2009-01-05 09:01:00
+//   cq_1 @ 2009-01-05 09:01:00: (5)
+//
+// Meta commands: \advance <stream> <timestamp>, \cqs, \drop <cq>, \q.
+// Statements end with ';' and may span lines. Snapshot SELECTs print a
+// result table; SELECTs over windowed streams register continuous
+// queries whose results print as windows close — the stream-relational
+// duality, live at a prompt.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "common/time.h"
+#include "engine/database.h"
+
+namespace {
+
+using streamrel::Row;
+using streamrel::Status;
+using streamrel::Value;
+
+void PrintTable(const streamrel::Schema& schema,
+                const std::vector<Row>& rows) {
+  // Column widths from headers and values.
+  std::vector<size_t> widths;
+  std::vector<std::string> headers;
+  for (const auto& col : schema.columns()) {
+    headers.push_back(col.name);
+    widths.push_back(col.name.size());
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToString());
+      if (i < widths.size() && line.back().size() > widths[i]) {
+        widths[i] = line.back().size();
+      }
+    }
+    cells.push_back(std::move(line));
+  }
+  auto rule = [&]() {
+    for (size_t w : widths) printf("+%s", std::string(w + 2, '-').c_str());
+    printf("+\n");
+  };
+  rule();
+  for (size_t i = 0; i < headers.size(); ++i) {
+    printf("| %-*s ", static_cast<int>(widths[i]), headers[i].c_str());
+  }
+  printf("|\n");
+  rule();
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      printf("| %-*s ", static_cast<int>(widths[i]), line[i].c_str());
+    }
+    printf("|\n");
+  }
+  rule();
+  printf("(%zu rows)\n", rows.size());
+}
+
+class Shell {
+ public:
+  int Run() {
+    printf("StreamRel — stream-relational continuous analytics.\n");
+    printf("Statements end with ';'.  \\h for help, \\q to quit.\n");
+    std::string buffer;
+    std::string line;
+    for (;;) {
+      printf(buffer.empty() ? "streamrel> " : "      ...> ");
+      fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      std::string trimmed = Trim(line);
+      if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+        if (!MetaCommand(trimmed)) break;
+        continue;
+      }
+      buffer += line;
+      buffer += "\n";
+      if (trimmed.size() >= 1 && trimmed.back() == ';') {
+        Execute(buffer);
+        buffer.clear();
+      }
+    }
+    return 0;
+  }
+
+ private:
+  static std::string Trim(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+  }
+
+  void Execute(const std::string& sql) {
+    // A continuous SELECT cannot run through Execute(); register it.
+    auto result = db_.Execute(sql);
+    if (result.ok()) {
+      if (!result->schema.columns().empty() || !result->rows.empty()) {
+        PrintTable(result->schema, result->rows);
+      } else {
+        printf("%s\n", result->message.c_str());
+      }
+      return;
+    }
+    if (result.status().message().find("CreateContinuousQuery") !=
+        std::string::npos) {
+      std::string name = "cq_" + std::to_string(++cq_counter_);
+      auto cq = db_.CreateContinuousQuery(name, sql);
+      if (!cq.ok()) {
+        printf("ERROR: %s\n", cq.status().ToString().c_str());
+        return;
+      }
+      (*cq)->AddCallback([name](int64_t close, const std::vector<Row>& rows) {
+        printf("%s @ %s:", name.c_str(),
+               streamrel::FormatTimestampMicros(close).c_str());
+        if (rows.empty()) {
+          printf(" (empty)\n");
+        } else {
+          printf("\n");
+          for (const Row& row : rows) {
+            printf("  %s\n", streamrel::RowToString(row).c_str());
+          }
+        }
+        return Status::OK();
+      });
+      printf("started continuous query %s (results print at each window "
+             "close; \\drop %s to stop)\n",
+             name.c_str(), name.c_str());
+      return;
+    }
+    printf("ERROR: %s\n", result.status().ToString().c_str());
+  }
+
+  /// Returns false to exit the shell.
+  bool MetaCommand(const std::string& command) {
+    std::istringstream in(command);
+    std::string op;
+    in >> op;
+    if (op == "\\q" || op == "\\quit") return false;
+    if (op == "\\h" || op == "\\help") {
+      printf("  <sql statement>;            run SQL (TruSQL windows "
+             "supported)\n");
+      printf("  \\advance <stream> <ts>      heartbeat: close windows up "
+             "to <ts>\n");
+      printf("  \\cqs                        list continuous queries\n");
+      printf("  \\drop <cq-name>             stop a continuous query\n");
+      printf("  \\copy <table|stream> <file> load a CSV (first line = "
+             "header)\n");
+      printf("  \\export <file> <query>;     write a snapshot query's "
+             "result as CSV\n");
+      printf("  \\q                          quit\n");
+      return true;
+    }
+    if (op == "\\export") {
+      std::string path, query;
+      in >> path;
+      std::getline(in, query);
+      query = Trim(query);
+      if (!query.empty() && query.back() == ';') query.pop_back();
+      auto result = db_.Execute(query);
+      if (!result.ok()) {
+        printf("ERROR: %s\n", result.status().ToString().c_str());
+        return true;
+      }
+      std::string text =
+          streamrel::csv::WriteText(result->schema, result->rows);
+      FILE* file = fopen(path.c_str(), "wb");
+      if (file == nullptr) {
+        printf("ERROR: cannot open %s\n", path.c_str());
+        return true;
+      }
+      fwrite(text.data(), 1, text.size(), file);
+      fclose(file);
+      printf("wrote %zu rows to %s\n", result->rows.size(), path.c_str());
+      return true;
+    }
+    if (op == "\\copy") {
+      std::string target, path;
+      in >> target >> path;
+      streamrel::Schema schema;
+      bool is_stream = false;
+      if (const auto* stream = db_.catalog()->GetStream(target)) {
+        schema = stream->schema;
+        is_stream = true;
+      } else if (const auto* table = db_.catalog()->GetTable(target)) {
+        schema = table->schema;
+      } else {
+        printf("ERROR: no table or stream named '%s'\n", target.c_str());
+        return true;
+      }
+      streamrel::csv::Options options;
+      options.has_header = true;
+      auto rows = streamrel::csv::ReadFile(path, schema, options);
+      if (!rows.ok()) {
+        printf("ERROR: %s\n", rows.status().ToString().c_str());
+        return true;
+      }
+      Status status;
+      if (is_stream) {
+        status = db_.Ingest(target, *rows);
+      } else {
+        // Synthesize chunked INSERT statements (goes through the normal
+        // WAL-logged write path).
+        std::string insert;
+        size_t in_chunk = 0;
+        for (size_t i = 0; i < rows->size() && status.ok(); ++i) {
+          if (insert.empty()) insert = "INSERT INTO " + target + " VALUES ";
+          if (in_chunk > 0) insert += ", ";
+          insert += "(";
+          for (size_t c = 0; c < (*rows)[i].size(); ++c) {
+            if (c > 0) insert += ", ";
+            const Value& v = (*rows)[i][c];
+            if (v.is_null()) {
+              insert += "NULL";
+            } else if (v.type() == streamrel::DataType::kString) {
+              std::string escaped;
+              for (char ch : v.AsString()) {
+                escaped += ch;
+                if (ch == '\'') escaped += '\'';
+              }
+              insert += "'" + escaped + "'";
+            } else if (v.type() == streamrel::DataType::kTimestamp) {
+              insert += "timestamp '" + v.ToString() + "'";
+            } else {
+              insert += v.ToString();
+            }
+          }
+          insert += ")";
+          if (++in_chunk == 256 || i + 1 == rows->size()) {
+            status = db_.Execute(insert).status();
+            insert.clear();
+            in_chunk = 0;
+          }
+        }
+      }
+      if (!status.ok()) {
+        printf("ERROR: %s\n", status.ToString().c_str());
+      } else {
+        printf("loaded %zu rows into %s\n", rows->size(), target.c_str());
+      }
+      return true;
+    }
+    if (op == "\\advance") {
+      std::string stream, rest;
+      in >> stream;
+      std::getline(in, rest);
+      auto ts = streamrel::ParseTimestampMicros(Trim(rest));
+      if (!ts.ok()) {
+        printf("ERROR: %s\n", ts.status().ToString().c_str());
+        return true;
+      }
+      Status status = db_.AdvanceTime(stream, *ts);
+      if (!status.ok()) {
+        printf("ERROR: %s\n", status.ToString().c_str());
+      }
+      return true;
+    }
+    if (op == "\\cqs") {
+      for (const std::string& name : db_.runtime()->CqNames()) {
+        auto* cq = db_.runtime()->GetCq(name);
+        printf("  %-16s over %-16s %s  (%lld windows, %s)\n", name.c_str(),
+               cq->stream_name().c_str(), cq->window().ToString().c_str(),
+               static_cast<long long>(cq->windows_evaluated()),
+               cq->is_shared() ? "shared" : "generic");
+      }
+      return true;
+    }
+    if (op == "\\drop") {
+      std::string name;
+      in >> name;
+      Status status = db_.DropContinuousQuery(name);
+      if (!status.ok()) printf("ERROR: %s\n", status.ToString().c_str());
+      return true;
+    }
+    printf("unknown command %s (\\h for help)\n", op.c_str());
+    return true;
+  }
+
+  streamrel::engine::Database db_;
+  int cq_counter_ = 0;
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }

@@ -1,0 +1,192 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace streamrel::catalog {
+
+storage::BTreeIndex* TableInfo::FindIndexOn(const std::string& column) const {
+  for (const auto& index : indexes) {
+    if (EqualsIgnoreCase(index->column_name(), column)) return index.get();
+  }
+  return nullptr;
+}
+
+Status Catalog::CheckNameFree(const std::string& name) const {
+  std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("a table named '" + name + "' exists");
+  }
+  if (streams_.count(key)) {
+    return Status::AlreadyExists("a stream named '" + name + "' exists");
+  }
+  if (views_.count(key)) {
+    return Status::AlreadyExists("a view named '" + name + "' exists");
+  }
+  return Status::OK();
+}
+
+Status Catalog::CreateTable(TableInfo info) {
+  RETURN_IF_ERROR(CheckNameFree(info.name));
+  tables_.emplace(ToLower(info.name), std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::CreateStream(StreamInfo info) {
+  RETURN_IF_ERROR(CheckNameFree(info.name));
+  streams_.emplace(ToLower(info.name), std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::CreateView(ViewInfo info) {
+  RETURN_IF_ERROR(CheckNameFree(info.name));
+  views_.emplace(ToLower(info.name), std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::CreateChannel(ChannelInfo info) {
+  std::string key = ToLower(info.name);
+  if (channels_.count(key)) {
+    return Status::AlreadyExists("a channel named '" + info.name +
+                                 "' exists");
+  }
+  channels_.emplace(std::move(key), std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::CreateIndex(const std::string& index_name,
+                            const std::string& table,
+                            std::shared_ptr<storage::BTreeIndex> index) {
+  std::string key = ToLower(index_name);
+  if (index_owners_.count(key)) {
+    return Status::AlreadyExists("an index named '" + index_name +
+                                 "' exists");
+  }
+  TableInfo* info = GetTable(table);
+  if (info == nullptr) {
+    return Status::NotFound("table '" + table + "' not found");
+  }
+  index_owners_.emplace(std::move(key),
+                        IndexRegistration{ToLower(table),
+                                          index->column_name()});
+  info->indexes.push_back(std::move(index));
+  return Status::OK();
+}
+
+TableInfo* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+const TableInfo* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+StreamInfo* Catalog::GetStream(const std::string& name) {
+  auto it = streams_.find(ToLower(name));
+  return it == streams_.end() ? nullptr : &it->second;
+}
+const StreamInfo* Catalog::GetStream(const std::string& name) const {
+  auto it = streams_.find(ToLower(name));
+  return it == streams_.end() ? nullptr : &it->second;
+}
+ViewInfo* Catalog::GetView(const std::string& name) {
+  auto it = views_.find(ToLower(name));
+  return it == views_.end() ? nullptr : &it->second;
+}
+const ViewInfo* Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(ToLower(name));
+  return it == views_.end() ? nullptr : &it->second;
+}
+ChannelInfo* Catalog::GetChannel(const std::string& name) {
+  auto it = channels_.find(ToLower(name));
+  return it == channels_.end() ? nullptr : &it->second;
+}
+const ChannelInfo* Catalog::GetChannel(const std::string& name) const {
+  auto it = channels_.find(ToLower(name));
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  // Drop this table's index registrations too.
+  for (auto idx = index_owners_.begin(); idx != index_owners_.end();) {
+    if (idx->second.table == it->first) {
+      idx = index_owners_.erase(idx);
+    } else {
+      ++idx;
+    }
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::DropStream(const std::string& name) {
+  auto it = streams_.find(ToLower(name));
+  if (it == streams_.end()) {
+    return Status::NotFound("stream '" + name + "' not found");
+  }
+  streams_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::DropView(const std::string& name) {
+  auto it = views_.find(ToLower(name));
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + name + "' not found");
+  }
+  views_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::DropChannel(const std::string& name) {
+  auto it = channels_.find(ToLower(name));
+  if (it == channels_.end()) {
+    return Status::NotFound("channel '" + name + "' not found");
+  }
+  channels_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  auto it = index_owners_.find(ToLower(name));
+  if (it == index_owners_.end()) {
+    return Status::NotFound("index '" + name + "' not found");
+  }
+  TableInfo* table = GetTable(it->second.table);
+  if (table != nullptr) {
+    for (auto iit = table->indexes.begin(); iit != table->indexes.end();
+         ++iit) {
+      if (EqualsIgnoreCase((*iit)->column_name(), it->second.column)) {
+        table->indexes.erase(iit);
+        break;
+      }
+    }
+  }
+  index_owners_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, info] : tables_) names.push_back(info.name);
+  return names;
+}
+
+std::vector<std::string> Catalog::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [key, info] : streams_) names.push_back(info.name);
+  return names;
+}
+
+std::vector<const ChannelInfo*> Catalog::Channels() const {
+  std::vector<const ChannelInfo*> out;
+  out.reserve(channels_.size());
+  for (const auto& [key, info] : channels_) out.push_back(&info);
+  return out;
+}
+
+}  // namespace streamrel::catalog

@@ -1,0 +1,113 @@
+#ifndef STREAMREL_CATALOG_CATALOG_H_
+#define STREAMREL_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/btree_index.h"
+#include "storage/heap_table.h"
+
+namespace streamrel::catalog {
+
+/// A persistent SQL table and its secondary indexes.
+struct TableInfo {
+  std::string name;
+  Schema schema;
+  std::shared_ptr<storage::HeapTable> heap;
+  std::vector<std::shared_ptr<storage::BTreeIndex>> indexes;
+
+  /// Index over `column`, or nullptr.
+  storage::BTreeIndex* FindIndexOn(const std::string& column) const;
+};
+
+/// A stream definition. Raw streams have a column list and a CQTIME ordering
+/// column (Example 1 in the paper); derived streams carry their defining
+/// continuous query (Example 3) and get their schema from binding it.
+struct StreamInfo {
+  std::string name;
+  Schema schema;
+  /// Index of the CQTIME column within `schema`.
+  size_t cqtime_column = 0;
+  /// CQTIME SYSTEM: stamped by the engine at ingest rather than supplied.
+  bool cqtime_system = false;
+  bool is_derived = false;
+  /// Defining query for derived streams (owned).
+  std::unique_ptr<sql::SelectStmt> defining_query;
+};
+
+/// A (streaming or plain) SQL view: macro-expanded at query time.
+struct ViewInfo {
+  std::string name;
+  std::unique_ptr<sql::SelectStmt> select;
+};
+
+/// A channel persists a derived stream into an active table (Example 4).
+struct ChannelInfo {
+  std::string name;
+  std::string from_stream;
+  std::string into_table;
+  sql::ChannelMode mode = sql::ChannelMode::kAppend;
+};
+
+/// The system catalog: name -> object for tables, streams, views, channels,
+/// and indexes. Tables, streams, and views share one namespace (they are all
+/// legal FROM targets); channels and indexes have their own.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status CreateTable(TableInfo info);
+  Status CreateStream(StreamInfo info);
+  Status CreateView(ViewInfo info);
+  Status CreateChannel(ChannelInfo info);
+  /// Registers `index` under `index_name` and attaches it to `table`.
+  Status CreateIndex(const std::string& index_name, const std::string& table,
+                     std::shared_ptr<storage::BTreeIndex> index);
+
+  /// nullptr if absent (shared namespace lookups).
+  TableInfo* GetTable(const std::string& name);
+  const TableInfo* GetTable(const std::string& name) const;
+  StreamInfo* GetStream(const std::string& name);
+  const StreamInfo* GetStream(const std::string& name) const;
+  ViewInfo* GetView(const std::string& name);
+  const ViewInfo* GetView(const std::string& name) const;
+  ChannelInfo* GetChannel(const std::string& name);
+  const ChannelInfo* GetChannel(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+  Status DropStream(const std::string& name);
+  Status DropView(const std::string& name);
+  Status DropChannel(const std::string& name);
+  Status DropIndex(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> StreamNames() const;
+  std::vector<const ChannelInfo*> Channels() const;
+
+ private:
+  /// Errors if `name` collides with any table/stream/view.
+  Status CheckNameFree(const std::string& name) const;
+
+  // Keys are lowercased names.
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, StreamInfo> streams_;
+  std::map<std::string, ViewInfo> views_;
+  std::map<std::string, ChannelInfo> channels_;
+  struct IndexRegistration {
+    std::string table;   // lowercased owner table
+    std::string column;  // indexed column (as registered)
+  };
+  /// index name -> owner (the index object lives in TableInfo).
+  std::map<std::string, IndexRegistration> index_owners_;
+};
+
+}  // namespace streamrel::catalog
+
+#endif  // STREAMREL_CATALOG_CATALOG_H_

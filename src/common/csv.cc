@@ -1,0 +1,187 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace streamrel::csv {
+
+Result<std::vector<std::vector<std::string>>> SplitRecords(
+    const std::string& text, char delimiter) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    fields.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(fields));
+    fields.clear();
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {  // escaped quote
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\r' && i + 1 < n && text[i + 1] == '\n') {
+      end_record();
+      i += 2;
+      continue;
+    }
+    if (c == '\n') {
+      end_record();
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    field_started = true;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  // Final record without a trailing newline.
+  if (!field.empty() || !fields.empty() || field_started) {
+    end_record();
+  }
+  return records;
+}
+
+namespace {
+
+Result<Value> ParseField(const std::string& field, DataType type,
+                         const Options& options, size_t record,
+                         size_t column) {
+  if (field == options.null_token) return Value::Null();
+  auto parsed = Value::String(field).CastTo(type);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(
+        "CSV record " + std::to_string(record + 1) + ", column " +
+        std::to_string(column + 1) + ": " + parsed.status().message());
+  }
+  return *parsed;
+}
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& s, char delimiter, std::string* out) {
+  if (!NeedsQuoting(s, delimiter)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ParseText(const std::string& text,
+                                   const Schema& schema,
+                                   const Options& options) {
+  ASSIGN_OR_RETURN(auto records, SplitRecords(text, options.delimiter));
+  std::vector<Row> rows;
+  size_t start = options.has_header && !records.empty() ? 1 : 0;
+  rows.reserve(records.size() - start);
+  for (size_t r = start; r < records.size(); ++r) {
+    const auto& fields = records[r];
+    // Tolerate a trailing fully-empty record (trailing newline artifacts).
+    if (fields.size() == 1 && fields[0].empty() && r + 1 == records.size()) {
+      break;
+    }
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(r + 1) + " has " +
+          std::to_string(fields.size()) + " fields; expected " +
+          std::to_string(schema.num_columns()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      ASSIGN_OR_RETURN(Value v, ParseField(fields[c],
+                                           schema.column(c).type, options,
+                                           r, c));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> ReadFile(const std::string& path,
+                                  const Schema& schema,
+                                  const Options& options) {
+  FILE* file = fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::string text;
+  char buffer[64 * 1024];
+  size_t got;
+  while ((got = fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  bool failed = ferror(file) != 0;
+  fclose(file);
+  if (failed) return Status::IoError("error reading '" + path + "'");
+  return ParseText(text, schema, options);
+}
+
+std::string WriteText(const Schema& schema, const std::vector<Row>& rows,
+                      const Options& options) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out.push_back(options.delimiter);
+    AppendField(schema.column(i).name, options.delimiter, &out);
+  }
+  out.push_back('\n');
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      AppendField(row[i].is_null() ? options.null_token : row[i].ToString(),
+                  options.delimiter, &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace streamrel::csv

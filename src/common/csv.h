@@ -1,0 +1,46 @@
+#ifndef STREAMREL_COMMON_CSV_H_
+#define STREAMREL_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace streamrel::csv {
+
+struct Options {
+  char delimiter = ',';
+  /// Skip the first record (column names).
+  bool has_header = false;
+  /// An unquoted field equal to this parses as SQL NULL.
+  std::string null_token;
+};
+
+/// Parses CSV `text` into rows conforming to `schema`: each field is
+/// parsed as the column's type (timestamps as "YYYY-MM-DD HH:MM:SS",
+/// intervals as "5 minutes", ...). Supports RFC-4180 quoting
+/// ("a ""quoted"" field", embedded delimiters and newlines). Rows must
+/// match the schema's arity.
+Result<std::vector<Row>> ParseText(const std::string& text,
+                                   const Schema& schema,
+                                   const Options& options = Options());
+
+/// ParseText over a file's contents.
+Result<std::vector<Row>> ReadFile(const std::string& path,
+                                  const Schema& schema,
+                                  const Options& options = Options());
+
+/// Renders rows as CSV (header from schema column names, values quoted
+/// when they contain the delimiter, quotes, or newlines; NULL as the
+/// null_token).
+std::string WriteText(const Schema& schema, const std::vector<Row>& rows,
+                      const Options& options = Options());
+
+/// Splits one CSV record's raw fields (exposed for tests).
+Result<std::vector<std::vector<std::string>>> SplitRecords(
+    const std::string& text, char delimiter);
+
+}  // namespace streamrel::csv
+
+#endif  // STREAMREL_COMMON_CSV_H_

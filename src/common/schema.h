@@ -1,0 +1,76 @@
+#ifndef STREAMREL_COMMON_SCHEMA_H_
+#define STREAMREL_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace streamrel {
+
+/// One column of a table, stream, or intermediate result.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+  /// Qualifier (table/stream alias) for disambiguation during binding;
+  /// empty for computed columns.
+  std::string qualifier;
+
+  Column() = default;
+  Column(std::string n, DataType t, std::string q = "")
+      : name(std::move(n)), type(t), qualifier(std::move(q)) {}
+};
+
+/// An ordered list of columns. Immutable once built; cheap to copy.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column matching `name` (and `qualifier`, if non-empty).
+  /// Returns nullopt if absent; an error via FindColumn on ambiguity.
+  std::optional<size_t> IndexOf(const std::string& name,
+                                const std::string& qualifier = "") const;
+
+  /// Like IndexOf but errors on ambiguity or absence (used by the binder).
+  Result<size_t> FindColumn(const std::string& name,
+                            const std::string& qualifier = "") const;
+
+  /// Concatenation used by joins. Column qualifiers are preserved.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Returns a copy with every column's qualifier replaced by `qualifier`
+  /// (applying a table alias).
+  Schema WithQualifier(const std::string& qualifier) const;
+
+  /// "name type, name type, ..." — for error messages and tests.
+  std::string ToString() const;
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A row is a flat vector of values, positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// Serializes `row` with Value::Serialize (length-prefixed).
+void SerializeRow(const Row& row, std::string* out);
+
+/// Inverse of SerializeRow starting at data[*offset].
+Result<Row> DeserializeRow(const std::string& data, size_t* offset);
+
+/// Debug rendering: "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+}  // namespace streamrel
+
+#endif  // STREAMREL_COMMON_SCHEMA_H_

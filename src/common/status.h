@@ -1,0 +1,138 @@
+#ifndef STREAMREL_COMMON_STATUS_H_
+#define STREAMREL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace streamrel {
+
+/// Error categories used across the engine. Modeled after the Status idiom
+/// used by Arrow/RocksDB: fallible APIs return Status or Result<T>; the
+/// engine does not throw exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // SQL text did not parse
+  kBindError,         // name/type resolution failed
+  kNotFound,          // catalog object missing
+  kAlreadyExists,     // catalog object duplicated
+  kNotImplemented,    // unsupported (yet) feature reached
+  kInternal,          // invariant violation inside the engine
+  kIoError,           // simulated-disk / WAL failure
+  kAborted,           // transaction aborted
+  kExecutionError,    // runtime evaluation error (e.g. division by zero)
+};
+
+/// Returns a short human-readable name for `code` (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or an (code, message) error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a T or an error Status. `ValueOrDie()`/`*` assert success.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& ValueOrDie() {
+    assert(ok());
+    return *value_;
+  }
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+  /// Moves the value out; only valid when ok().
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors to the caller, Arrow-style.
+#define RETURN_IF_ERROR(expr)                \
+  do {                                       \
+    ::streamrel::Status _st = (expr);        \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define SR_CONCAT_IMPL(a, b) a##b
+#define SR_CONCAT(a, b) SR_CONCAT_IMPL(a, b)
+
+// ASSIGN_OR_RETURN(lhs, rexpr): evaluates rexpr (a Result<T>), returns its
+// status on error, otherwise move-assigns the value into `lhs`.
+#define ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto SR_CONCAT(_res_, __LINE__) = (rexpr);                \
+  if (!SR_CONCAT(_res_, __LINE__).ok())                     \
+    return SR_CONCAT(_res_, __LINE__).status();             \
+  lhs = SR_CONCAT(_res_, __LINE__).TakeValue()
+
+}  // namespace streamrel
+
+#endif  // STREAMREL_COMMON_STATUS_H_

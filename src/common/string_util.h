@@ -1,0 +1,27 @@
+#ifndef STREAMREL_COMMON_STRING_UTIL_H_
+#define STREAMREL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace streamrel {
+
+/// ASCII lowercase copy.
+std::string ToLower(const std::string& s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(const std::string& s);
+
+/// Splits on runs of whitespace; no empty tokens.
+std::vector<std::string> SplitWhitespace(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace streamrel
+
+#endif  // STREAMREL_COMMON_STRING_UTIL_H_

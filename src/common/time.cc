@@ -1,0 +1,201 @@
+#include "common/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "common/string_util.h"
+
+namespace streamrel {
+
+namespace {
+
+// Days from the civil epoch algorithm (Howard Hinnant's date algorithms),
+// avoiding timegm portability issues.
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 +
+         static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+struct UnitName {
+  const char* name;
+  int64_t micros;
+};
+
+constexpr UnitName kUnits[] = {
+    {"microsecond", 1},
+    {"microseconds", 1},
+    {"us", 1},
+    {"millisecond", kMicrosPerMilli},
+    {"milliseconds", kMicrosPerMilli},
+    {"ms", kMicrosPerMilli},
+    {"second", kMicrosPerSecond},
+    {"seconds", kMicrosPerSecond},
+    {"sec", kMicrosPerSecond},
+    {"secs", kMicrosPerSecond},
+    {"s", kMicrosPerSecond},
+    {"minute", kMicrosPerMinute},
+    {"minutes", kMicrosPerMinute},
+    {"min", kMicrosPerMinute},
+    {"mins", kMicrosPerMinute},
+    {"hour", kMicrosPerHour},
+    {"hours", kMicrosPerHour},
+    {"h", kMicrosPerHour},
+    {"day", kMicrosPerDay},
+    {"days", kMicrosPerDay},
+    {"d", kMicrosPerDay},
+    {"week", kMicrosPerWeek},
+    {"weeks", kMicrosPerWeek},
+    {"w", kMicrosPerWeek},
+};
+
+}  // namespace
+
+Result<int64_t> ParseTimestampMicros(const std::string& text) {
+  int y = 0;
+  unsigned mo = 0, d = 0, h = 0, mi = 0, se = 0;
+  long frac = 0;
+  int frac_digits = 0;
+
+  const char* p = text.c_str();
+  int consumed = 0;
+  if (sscanf(p, "%d-%u-%u%n", &y, &mo, &d, &consumed) != 3) {
+    return Status::InvalidArgument("bad timestamp literal: '" + text + "'");
+  }
+  p += consumed;
+  if (*p == ' ' || *p == 'T') {
+    ++p;
+    if (sscanf(p, "%u:%u:%u%n", &h, &mi, &se, &consumed) != 3) {
+      return Status::InvalidArgument("bad timestamp time part: '" + text +
+                                     "'");
+    }
+    p += consumed;
+    if (*p == '.') {
+      ++p;
+      while (*p >= '0' && *p <= '9' && frac_digits < 6) {
+        frac = frac * 10 + (*p - '0');
+        ++frac_digits;
+        ++p;
+      }
+      while (*p >= '0' && *p <= '9') ++p;  // ignore beyond micros
+    }
+  }
+  while (*p == ' ') ++p;
+  if (*p != '\0') {
+    return Status::InvalidArgument("trailing characters in timestamp: '" +
+                                   text + "'");
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h > 23 || mi > 59 || se > 60) {
+    return Status::InvalidArgument("timestamp field out of range: '" + text +
+                                   "'");
+  }
+  for (int i = frac_digits; i < 6; ++i) frac *= 10;
+  int64_t days = DaysFromCivil(y, mo, d);
+  int64_t micros = days * kMicrosPerDay + h * kMicrosPerHour +
+                   mi * kMicrosPerMinute + se * kMicrosPerSecond + frac;
+  return micros;
+}
+
+std::string FormatTimestampMicros(int64_t micros) {
+  int64_t days = micros / kMicrosPerDay;
+  int64_t rem = micros % kMicrosPerDay;
+  if (rem < 0) {
+    rem += kMicrosPerDay;
+    --days;
+  }
+  int y;
+  unsigned mo, d;
+  CivilFromDays(days, &y, &mo, &d);
+  int h = static_cast<int>(rem / kMicrosPerHour);
+  rem %= kMicrosPerHour;
+  int mi = static_cast<int>(rem / kMicrosPerMinute);
+  rem %= kMicrosPerMinute;
+  int se = static_cast<int>(rem / kMicrosPerSecond);
+  int64_t frac = rem % kMicrosPerSecond;
+  char buf[48];
+  if (frac == 0) {
+    snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02d:%02d:%02d", y, mo, d, h,
+             mi, se);
+  } else {
+    snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02d:%02d:%02d.%06" PRId64, y,
+             mo, d, h, mi, se, frac);
+  }
+  return buf;
+}
+
+Result<int64_t> ParseIntervalMicros(const std::string& text) {
+  std::vector<std::string> parts = SplitWhitespace(text);
+  if (parts.empty() || parts.size() % 2 != 0) {
+    return Status::InvalidArgument("bad interval literal: '" + text + "'");
+  }
+  int64_t total = 0;
+  for (size_t i = 0; i < parts.size(); i += 2) {
+    errno = 0;
+    char* end = nullptr;
+    double qty = strtod(parts[i].c_str(), &end);
+    if (errno != 0 || end == parts[i].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad interval quantity: '" + parts[i] +
+                                     "'");
+    }
+    std::string unit = ToLower(parts[i + 1]);
+    bool found = false;
+    for (const auto& u : kUnits) {
+      if (unit == u.name) {
+        total += static_cast<int64_t>(qty * static_cast<double>(u.micros));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown interval unit: '" +
+                                     parts[i + 1] + "'");
+    }
+  }
+  return total;
+}
+
+std::string FormatIntervalMicros(int64_t micros) {
+  struct {
+    int64_t micros;
+    const char* singular;
+    const char* plural;
+  } units[] = {
+      {kMicrosPerWeek, "week", "weeks"},
+      {kMicrosPerDay, "day", "days"},
+      {kMicrosPerHour, "hour", "hours"},
+      {kMicrosPerMinute, "minute", "minutes"},
+      {kMicrosPerSecond, "second", "seconds"},
+      {kMicrosPerMilli, "millisecond", "milliseconds"},
+      {1, "microsecond", "microseconds"},
+  };
+  if (micros == 0) return "0 seconds";
+  for (const auto& u : units) {
+    if (micros % u.micros == 0) {
+      int64_t qty = micros / u.micros;
+      return std::to_string(qty) + " " +
+             (qty == 1 || qty == -1 ? u.singular : u.plural);
+    }
+  }
+  return std::to_string(micros) + " microseconds";
+}
+
+}  // namespace streamrel

@@ -1,0 +1,38 @@
+#ifndef STREAMREL_COMMON_TIME_H_
+#define STREAMREL_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace streamrel {
+
+// All engine time is int64 microseconds. Timestamps are micros since the
+// Unix epoch (UTC); intervals are signed durations in micros.
+
+inline constexpr int64_t kMicrosPerMilli = 1000;
+inline constexpr int64_t kMicrosPerSecond = 1000 * kMicrosPerMilli;
+inline constexpr int64_t kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr int64_t kMicrosPerHour = 60 * kMicrosPerMinute;
+inline constexpr int64_t kMicrosPerDay = 24 * kMicrosPerHour;
+inline constexpr int64_t kMicrosPerWeek = 7 * kMicrosPerDay;
+
+/// Parses "YYYY-MM-DD[ HH:MM:SS[.ffffff]]" (UTC) into epoch micros.
+Result<int64_t> ParseTimestampMicros(const std::string& text);
+
+/// Formats epoch micros as "YYYY-MM-DD HH:MM:SS[.ffffff]" (UTC).
+std::string FormatTimestampMicros(int64_t micros);
+
+/// Parses TruSQL interval text: "<number> <unit>" pairs where unit is one of
+/// microsecond(s)/millisecond(s)/second(s)/minute(s)/hour(s)/day(s)/week(s),
+/// e.g. "5 minutes", "1 hour 30 minutes", "250 milliseconds".
+Result<int64_t> ParseIntervalMicros(const std::string& text);
+
+/// Formats an interval in the largest exact unit, e.g. "5 minutes",
+/// "90 seconds", "1500000 microseconds".
+std::string FormatIntervalMicros(int64_t micros);
+
+}  // namespace streamrel
+
+#endif  // STREAMREL_COMMON_TIME_H_

@@ -1,0 +1,141 @@
+#ifndef STREAMREL_COMMON_VALUE_H_
+#define STREAMREL_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streamrel {
+
+/// Scalar SQL types supported by the engine.
+///
+/// kTimestamp and kInterval are stored as int64 microseconds (since the Unix
+/// epoch, and as a duration, respectively) — the granularity TruSQL windows
+/// operate at.
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,
+  kInterval,
+};
+
+/// Returns the SQL-ish name of `type` ("bigint", "timestamp", ...).
+const char* DataTypeToString(DataType type);
+
+/// True for kInt64 and kDouble.
+bool IsNumericType(DataType type);
+
+/// A runtime scalar value: a DataType tag plus the payload. SQL NULL is a
+/// Value whose type is kNull (NULLs are untyped at runtime, as in most
+/// engines' executors).
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : type_(DataType::kNull), i_(0), d_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) {
+    Value x;
+    x.type_ = DataType::kBool;
+    x.i_ = v ? 1 : 0;
+    return x;
+  }
+  static Value Int64(int64_t v) {
+    Value x;
+    x.type_ = DataType::kInt64;
+    x.i_ = v;
+    return x;
+  }
+  static Value Double(double v) {
+    Value x;
+    x.type_ = DataType::kDouble;
+    x.d_ = v;
+    return x;
+  }
+  static Value String(std::string v) {
+    Value x;
+    x.type_ = DataType::kString;
+    x.s_ = std::move(v);
+    return x;
+  }
+  /// `micros` is microseconds since the Unix epoch.
+  static Value Timestamp(int64_t micros) {
+    Value x;
+    x.type_ = DataType::kTimestamp;
+    x.i_ = micros;
+    return x;
+  }
+  /// `micros` is a signed duration in microseconds.
+  static Value Interval(int64_t micros) {
+    Value x;
+    x.type_ = DataType::kInterval;
+    x.i_ = micros;
+    return x;
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  bool AsBool() const { return i_ != 0; }
+  int64_t AsInt64() const { return i_; }
+  double AsDouble() const {
+    return type_ == DataType::kDouble ? d_ : static_cast<double>(i_);
+  }
+  const std::string& AsString() const { return s_; }
+  int64_t AsTimestampMicros() const { return i_; }
+  int64_t AsIntervalMicros() const { return i_; }
+
+  /// Three-way comparison. NULL compares less than everything (used only for
+  /// sorting; SQL comparison semantics with NULL are handled by the
+  /// expression evaluator). Numeric types compare cross-type
+  /// (1 == 1.0). Comparing incomparable types orders by type tag.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with Compare()==0 for same-type values and for
+  /// int/double values that are exactly equal integers.
+  size_t Hash() const;
+
+  /// SQL-style rendering ("NULL", "42", "'abc'"-less plain text,
+  /// ISO timestamps).
+  std::string ToString() const;
+
+  /// Converts this value to `target`. Numeric <-> numeric, string <-> most
+  /// types (parse/print), timestamp <-> int64 (micros). NULL casts to NULL.
+  Result<Value> CastTo(DataType target) const;
+
+  /// Binary serialization used by the WAL and heap storage.
+  void Serialize(std::string* out) const;
+  /// Deserializes a value written by Serialize from data[*offset...];
+  /// advances *offset. Returns an error on truncated input.
+  static Result<Value> Deserialize(const std::string& data, size_t* offset);
+
+ private:
+  DataType type_;
+  int64_t i_;     // bool / int64 / timestamp / interval payload
+  double d_;      // double payload
+  std::string s_; // string payload
+};
+
+/// Arithmetic with SQL type rules:
+///   int op int -> int (div by zero -> error), any double -> double,
+///   timestamp + interval -> timestamp, timestamp - timestamp -> interval,
+///   interval +- interval -> interval, interval * num -> interval.
+/// NULL in -> NULL out.
+Result<Value> ValueAdd(const Value& a, const Value& b);
+Result<Value> ValueSub(const Value& a, const Value& b);
+Result<Value> ValueMul(const Value& a, const Value& b);
+Result<Value> ValueDiv(const Value& a, const Value& b);
+Result<Value> ValueMod(const Value& a, const Value& b);
+
+}  // namespace streamrel
+
+#endif  // STREAMREL_COMMON_VALUE_H_

@@ -1,0 +1,152 @@
+#ifndef STREAMREL_ENGINE_DATABASE_H_
+#define STREAMREL_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "exec/planner.h"
+#include "sql/parser.h"
+#include "storage/disk.h"
+#include "storage/transaction.h"
+#include "storage/wal.h"
+#include "stream/recovery.h"
+#include "stream/runtime.h"
+
+namespace streamrel::engine {
+
+/// Engine configuration.
+struct DatabaseOptions {
+  storage::DiskModel disk_model;
+  /// fsync the WAL after every append (the expensive, fully-durable
+  /// store-first configuration); otherwise syncs happen at commit
+  /// boundaries.
+  bool wal_sync_every_append = false;
+  size_t heap_page_size = 64 * 1024;
+};
+
+/// Result of one statement: rows for SELECT, a tag for DDL/DML.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  std::string message;  // e.g. "CREATE TABLE", "INSERT 3"
+};
+
+/// The stream-relational database: a full SQL engine (tables, indexes,
+/// MVCC transactions, WAL) with TruSQL stream extensions (streams, windows,
+/// continuous queries, derived streams, channels, active tables) —
+/// the paper's Continuous Analytics system.
+///
+/// Usage: Execute() runs DDL, INSERT, and snapshot SELECTs.
+/// CreateContinuousQuery() starts a CQ from a stream-referencing SELECT and
+/// returns a handle for subscribing to its per-window results. Ingest()
+/// pushes ordered rows into a raw stream, driving the whole dataflow.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions());
+
+  /// Re-opens a database over existing storage (restart simulation): the
+  /// catalog starts empty — re-run the DDL, then call RecoverFromWal().
+  Database(std::shared_ptr<storage::SimulatedDisk> disk,
+           std::shared_ptr<storage::WriteAheadLog> wal,
+           DatabaseOptions options = DatabaseOptions());
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Executes one or more ';'-separated statements; returns the last
+  /// statement's result. Continuous SELECTs are rejected here — use
+  /// CreateContinuousQuery.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Starts a named continuous query from a SELECT over a windowed stream.
+  Result<stream::ContinuousQuery*> CreateContinuousQuery(
+      const std::string& name, const std::string& select_sql,
+      bool allow_shared = true);
+
+  Status DropContinuousQuery(const std::string& name);
+
+  /// Pushes ordered rows into a raw stream. For CQTIME SYSTEM streams pass
+  /// `system_time`; CQTIME USER streams read their timestamp column.
+  Status Ingest(const std::string& stream, const std::vector<Row>& rows,
+                int64_t system_time = INT64_MIN);
+
+  /// Heartbeat: closes windows up to `watermark` without new data.
+  Status AdvanceTime(const std::string& stream, int64_t watermark);
+
+  /// WAL replay into the (re-created) tables; returns channel watermarks
+  /// and checkpoint blobs for the recovery strategies in stream/recovery.h.
+  Result<stream::WalReplayResult> RecoverFromWal();
+
+  // Component access (benchmarks, tests, recovery drivers).
+  catalog::Catalog* catalog() { return &catalog_; }
+  storage::TransactionManager* txns() { return &txns_; }
+  stream::StreamRuntime* runtime() { return &runtime_; }
+  const std::shared_ptr<storage::SimulatedDisk>& disk() const {
+    return disk_;
+  }
+  const std::shared_ptr<storage::WriteAheadLog>& wal() const { return wal_; }
+
+  /// Logical clock: the max watermark observed across streams; INSERT
+  /// transactions commit at this time (so CQ window-consistent snapshots
+  /// order them against window closes).
+  int64_t now_micros() const { return now_micros_; }
+  void SetClock(int64_t now) { now_micros_ = now; }
+
+  /// True while an explicit BEGIN ... COMMIT/ROLLBACK block is open.
+  bool in_transaction() const { return active_txn_.has_value(); }
+
+  /// Rebuilds the sys_* introspection tables (sys_tables, sys_streams,
+  /// sys_cqs, sys_channels) from current catalog/runtime state. Runs
+  /// automatically before every snapshot SELECT; exposed for tools.
+  Status RefreshSystemTables();
+
+ private:
+  Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
+  Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt);
+  Result<QueryResult> ExecuteInsert(const sql::InsertStmt& stmt);
+  Result<QueryResult> ExecuteUpdate(const sql::UpdateStmt& stmt);
+  Result<QueryResult> ExecuteDelete(const sql::DeleteStmt& stmt);
+  Result<QueryResult> ExecuteVacuum(const sql::VacuumStmt& stmt);
+  Result<QueryResult> ExecuteExplain(const sql::ExplainStmt& stmt);
+  Result<QueryResult> ExecuteTransaction(const sql::TransactionStmt& stmt);
+
+  /// The write transaction for a DML statement: the open explicit
+  /// transaction if any (already WAL-logged), else a fresh autocommit one
+  /// (logs kBegin). `*autocommit` tells the caller whether to commit it.
+  Result<storage::TxnId> BeginWrite(bool* autocommit);
+  /// Commits an autocommit write (WAL kCommit + sync); no-op inside an
+  /// explicit transaction.
+  Status EndWrite(storage::TxnId txn, bool autocommit);
+  /// Scans `table`'s rows visible now that satisfy `where` (nullable AST).
+  Result<std::vector<std::pair<storage::RowId, Row>>> CollectMatches(
+      catalog::TableInfo* table, const sql::Expr* where);
+  Result<QueryResult> ExecuteCreateTable(const sql::CreateTableStmt& stmt);
+  Result<QueryResult> ExecuteCreateStream(const sql::CreateStreamStmt& stmt);
+  Result<QueryResult> ExecuteCreateDerivedStream(
+      const sql::CreateDerivedStreamStmt& stmt);
+  Result<QueryResult> ExecuteCreateView(const sql::CreateViewStmt& stmt);
+  Result<QueryResult> ExecuteCreateChannel(const sql::CreateChannelStmt& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const sql::CreateIndexStmt& stmt);
+  Result<QueryResult> ExecuteDrop(const sql::DropStmt& stmt);
+
+  Result<Schema> SchemaFromColumnDefs(
+      const std::vector<sql::ColumnDef>& defs) const;
+
+  DatabaseOptions options_;
+  std::shared_ptr<storage::SimulatedDisk> disk_;
+  std::shared_ptr<storage::WriteAheadLog> wal_;
+  storage::TransactionManager txns_;
+  catalog::Catalog catalog_;
+  stream::StreamRuntime runtime_;
+  int64_t now_micros_ = 0;
+  std::optional<storage::TxnId> active_txn_;
+};
+
+}  // namespace streamrel::engine
+
+#endif  // STREAMREL_ENGINE_DATABASE_H_

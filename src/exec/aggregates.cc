@@ -1,0 +1,220 @@
+#include "exec/aggregates.h"
+
+#include <cmath>
+
+namespace streamrel::exec {
+
+namespace {
+
+class CountState : public AggState {
+ public:
+  explicit CountState(bool star) : star_(star) {}
+
+  void Update(const Value& arg) override {
+    if (star_ || !arg.is_null()) ++count_;
+  }
+  Status Merge(const AggState& other) override {
+    count_ += static_cast<const CountState&>(other).count_;
+    return Status::OK();
+  }
+  Value Final() const override { return Value::Int64(count_); }
+  AggStatePtr Clone() const override {
+    auto copy = std::make_unique<CountState>(star_);
+    copy->count_ = count_;
+    return copy;
+  }
+
+ private:
+  bool star_;
+  int64_t count_ = 0;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+class CountDistinctState : public AggState {
+ public:
+  void Update(const Value& arg) override {
+    if (!arg.is_null()) seen_.insert(arg);
+  }
+  Status Merge(const AggState& other) override {
+    const auto& o = static_cast<const CountDistinctState&>(other);
+    seen_.insert(o.seen_.begin(), o.seen_.end());
+    return Status::OK();
+  }
+  Value Final() const override {
+    return Value::Int64(static_cast<int64_t>(seen_.size()));
+  }
+  AggStatePtr Clone() const override {
+    auto copy = std::make_unique<CountDistinctState>();
+    copy->seen_ = seen_;
+    return copy;
+  }
+
+ private:
+  std::unordered_set<Value, ValueHasher> seen_;
+};
+
+class SumState : public AggState {
+ public:
+  void Update(const Value& arg) override {
+    if (arg.is_null()) return;
+    if (!has_value_) {
+      sum_ = arg;
+      has_value_ = true;
+      return;
+    }
+    auto r = ValueAdd(sum_, arg);
+    if (r.ok()) sum_ = *r;
+  }
+  Status Merge(const AggState& other) override {
+    const auto& o = static_cast<const SumState&>(other);
+    if (o.has_value_) Update(o.sum_);
+    return Status::OK();
+  }
+  Value Final() const override { return has_value_ ? sum_ : Value::Null(); }
+  AggStatePtr Clone() const override {
+    auto copy = std::make_unique<SumState>();
+    copy->sum_ = sum_;
+    copy->has_value_ = has_value_;
+    return copy;
+  }
+
+ private:
+  Value sum_;
+  bool has_value_ = false;
+};
+
+class AvgState : public AggState {
+ public:
+  void Update(const Value& arg) override {
+    if (arg.is_null()) return;
+    sum_ += arg.AsDouble();
+    ++count_;
+  }
+  Status Merge(const AggState& other) override {
+    const auto& o = static_cast<const AvgState&>(other);
+    sum_ += o.sum_;
+    count_ += o.count_;
+    return Status::OK();
+  }
+  Value Final() const override {
+    if (count_ == 0) return Value::Null();
+    return Value::Double(sum_ / static_cast<double>(count_));
+  }
+  AggStatePtr Clone() const override {
+    auto copy = std::make_unique<AvgState>();
+    copy->sum_ = sum_;
+    copy->count_ = count_;
+    return copy;
+  }
+
+ private:
+  double sum_ = 0;
+  int64_t count_ = 0;
+};
+
+class MinMaxState : public AggState {
+ public:
+  explicit MinMaxState(bool is_min) : is_min_(is_min) {}
+
+  void Update(const Value& arg) override {
+    if (arg.is_null()) return;
+    if (best_.is_null() || (is_min_ ? arg < best_ : best_ < arg)) {
+      best_ = arg;
+    }
+  }
+  Status Merge(const AggState& other) override {
+    Update(static_cast<const MinMaxState&>(other).best_);
+    return Status::OK();
+  }
+  Value Final() const override { return best_; }
+  AggStatePtr Clone() const override {
+    auto copy = std::make_unique<MinMaxState>(is_min_);
+    copy->best_ = best_;
+    return copy;
+  }
+
+ private:
+  bool is_min_;
+  Value best_;
+};
+
+/// Sample standard deviation tracked as (n, sum, sum of squares) so that
+/// slice partials merge exactly.
+class StddevState : public AggState {
+ public:
+  void Update(const Value& arg) override {
+    if (arg.is_null()) return;
+    double x = arg.AsDouble();
+    ++n_;
+    sum_ += x;
+    sumsq_ += x * x;
+  }
+  Status Merge(const AggState& other) override {
+    const auto& o = static_cast<const StddevState&>(other);
+    n_ += o.n_;
+    sum_ += o.sum_;
+    sumsq_ += o.sumsq_;
+    return Status::OK();
+  }
+  Value Final() const override {
+    if (n_ < 2) return Value::Null();
+    double mean = sum_ / static_cast<double>(n_);
+    double var =
+        (sumsq_ - static_cast<double>(n_) * mean * mean) /
+        static_cast<double>(n_ - 1);
+    return Value::Double(std::sqrt(var < 0 ? 0 : var));
+  }
+  AggStatePtr Clone() const override {
+    auto copy = std::make_unique<StddevState>();
+    copy->n_ = n_;
+    copy->sum_ = sum_;
+    copy->sumsq_ = sumsq_;
+    return copy;
+  }
+
+ private:
+  int64_t n_ = 0;
+  double sum_ = 0;
+  double sumsq_ = 0;
+};
+
+}  // namespace
+
+bool IsAggregateFunction(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" ||
+         name == "min" || name == "max" || name == "stddev";
+}
+
+Result<AggStatePtr> MakeAggState(const std::string& name, bool star,
+                                 bool distinct) {
+  if (distinct) {
+    if (name != "count") {
+      return Status::NotImplemented("DISTINCT is only supported for count()");
+    }
+    return AggStatePtr(std::make_unique<CountDistinctState>());
+  }
+  if (name == "count") return AggStatePtr(std::make_unique<CountState>(star));
+  if (star) {
+    return Status::BindError(name + "(*) is not valid; only count(*)");
+  }
+  if (name == "sum") return AggStatePtr(std::make_unique<SumState>());
+  if (name == "avg") return AggStatePtr(std::make_unique<AvgState>());
+  if (name == "min") return AggStatePtr(std::make_unique<MinMaxState>(true));
+  if (name == "max") return AggStatePtr(std::make_unique<MinMaxState>(false));
+  if (name == "stddev") return AggStatePtr(std::make_unique<StddevState>());
+  return Status::BindError("unknown aggregate: " + name);
+}
+
+Result<DataType> InferAggregateType(const std::string& name, bool star,
+                                    DataType input) {
+  if (name == "count") return DataType::kInt64;
+  if (star) return Status::BindError("only count(*) takes '*'");
+  if (name == "avg" || name == "stddev") return DataType::kDouble;
+  if (name == "sum" || name == "min" || name == "max") return input;
+  return Status::BindError("unknown aggregate: " + name);
+}
+
+}  // namespace streamrel::exec

@@ -1,0 +1,56 @@
+#ifndef STREAMREL_EXEC_AGGREGATES_H_
+#define STREAMREL_EXEC_AGGREGATES_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace streamrel::exec {
+
+/// Incremental state of one aggregate over one group. States are
+/// *mergeable*: the stream runtime computes per-slice partial states once
+/// and combines them per window ("paned" evaluation) and across the CQs
+/// that share them (the paper's jellybean processing). Every aggregate here
+/// therefore implements Update (one input row) and Merge (absorb another
+/// partial state).
+class AggState {
+ public:
+  virtual ~AggState() = default;
+
+  /// Folds one input value in. For count(*) the argument is ignored.
+  virtual void Update(const Value& arg) = 0;
+
+  /// Absorbs `other` (same concrete type). Used by slice/pane combination.
+  virtual Status Merge(const AggState& other) = 0;
+
+  /// Produces the aggregate result for the rows folded so far.
+  virtual Value Final() const = 0;
+
+  /// Deep copy (shared slices are merged into per-window accumulators
+  /// without destroying the slice partials).
+  virtual std::unique_ptr<AggState> Clone() const = 0;
+};
+
+using AggStatePtr = std::unique_ptr<AggState>;
+
+/// True if `name` (lowercased) is a supported aggregate:
+/// count / sum / avg / min / max / stddev / count(distinct).
+bool IsAggregateFunction(const std::string& name);
+
+/// Creates fresh state. `star` marks count(*); `distinct` marks
+/// count(DISTINCT x) (only count supports DISTINCT).
+Result<AggStatePtr> MakeAggState(const std::string& name, bool star,
+                                 bool distinct);
+
+/// Static result type: count -> bigint, avg/stddev -> double, sum/min/max
+/// follow the input type.
+Result<DataType> InferAggregateType(const std::string& name, bool star,
+                                    DataType input);
+
+}  // namespace streamrel::exec
+
+#endif  // STREAMREL_EXEC_AGGREGATES_H_

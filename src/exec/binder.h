@@ -1,0 +1,91 @@
+#ifndef STREAMREL_EXEC_BINDER_H_
+#define STREAMREL_EXEC_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "exec/aggregates.h"
+#include "exec/expr.h"
+#include "sql/ast.h"
+
+namespace streamrel::exec {
+
+/// One aggregate occurrence collected from a query
+/// (e.g. `count(*)`, `sum(price)`).
+struct AggregateCall {
+  std::string function;   // lowercased
+  bool star = false;      // count(*)
+  bool distinct = false;  // count(DISTINCT x)
+  BoundExprPtr argument;  // bound against the pre-aggregation input; may be
+                          // null for count(*)
+  DataType result_type = DataType::kNull;
+  std::string display_name;  // for output column naming
+};
+
+/// Binds AST expressions against an input schema, resolving column
+/// references, inferring types, folding constants, and (in aggregate mode)
+/// extracting aggregate calls.
+///
+/// Aggregate mode models the SQL two-phase evaluation: the aggregation
+/// operator produces rows laid out as [group keys..., aggregate results...],
+/// and post-aggregation expressions (select list, HAVING, ORDER BY) are
+/// bound against that layout. A sub-expression that syntactically matches a
+/// GROUP BY item becomes a reference to the corresponding key slot; an
+/// aggregate function becomes a reference to its result slot; any other
+/// column reference is an error ("column must appear in GROUP BY").
+class ExprBinder {
+ public:
+  explicit ExprBinder(const Schema& input) : input_(input) {}
+
+  /// Switches to aggregate mode. `group_exprs` are the GROUP BY items
+  /// (already alias/ordinal-resolved by the planner); they are bound here
+  /// against the input schema. Pass an empty list for implicit aggregation
+  /// (e.g. `SELECT count(*) FROM t`).
+  Status EnterAggregateMode(const std::vector<const sql::Expr*>& group_exprs);
+
+  bool aggregate_mode() const { return aggregate_mode_; }
+
+  /// Binds a scalar expression against the input schema; aggregate
+  /// functions are rejected. Used for WHERE, JOIN ON, and INSERT values.
+  Result<BoundExprPtr> BindScalar(const sql::Expr& expr);
+
+  /// Binds a projection/HAVING/ORDER BY expression. In aggregate mode this
+  /// applies the group/aggregate slot mapping described above; otherwise it
+  /// behaves like BindScalar.
+  Result<BoundExprPtr> BindProjection(const sql::Expr& expr);
+
+  /// Group key expressions (bound against input); valid after
+  /// EnterAggregateMode.
+  const std::vector<BoundExprPtr>& group_exprs() const { return group_exprs_; }
+  std::vector<BoundExprPtr> TakeGroupExprs() { return std::move(group_exprs_); }
+
+  /// Aggregate calls collected so far, in slot order.
+  const std::vector<AggregateCall>& agg_calls() const { return agg_calls_; }
+  std::vector<AggregateCall> TakeAggCalls() { return std::move(agg_calls_); }
+
+  /// Schema of the post-aggregation row: group keys then aggregates.
+  Schema PostAggregateSchema() const;
+
+  /// True if `expr` contains any aggregate function call.
+  static bool ContainsAggregate(const sql::Expr& expr);
+
+ private:
+  Result<BoundExprPtr> BindInternal(const sql::Expr& expr, bool post_agg);
+  Result<BoundExprPtr> BindColumnRef(const sql::Expr& expr);
+  Result<BoundExprPtr> BindAggregateCall(const sql::Expr& expr);
+  /// Fold a constant subtree into a literal when possible.
+  static BoundExprPtr MaybeFold(BoundExprPtr expr);
+
+  const Schema& input_;
+  bool aggregate_mode_ = false;
+  std::vector<std::string> group_texts_;  // ToString of each GROUP BY item
+  std::vector<BoundExprPtr> group_exprs_;
+  std::vector<AggregateCall> agg_calls_;
+};
+
+}  // namespace streamrel::exec
+
+#endif  // STREAMREL_EXEC_BINDER_H_

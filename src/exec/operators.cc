@@ -1,0 +1,785 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace streamrel::exec {
+
+void ExecNode::Explain(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(name());
+  out->append("\n");
+}
+
+std::string ExplainPlan(const ExecNode& root) {
+  std::string out;
+  root.Explain(0, &out);
+  return out;
+}
+
+size_t HashValues(const std::vector<Value>& values) {
+  size_t h = 0x345678;
+  for (const Value& v : values) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h;
+}
+
+bool ValuesEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Row>> CollectRows(ExecNode* root, ExecContext* ctx) {
+  RETURN_IF_ERROR(root->Open(ctx));
+  std::vector<Row> rows;
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, root->Next(&row));
+    if (!has) break;
+    rows.push_back(row);
+  }
+  root->Close();
+  return rows;
+}
+
+// --- BufferScanNode ---------------------------------------------------------
+
+BufferScanNode::BufferScanNode(Schema schema,
+                               std::shared_ptr<const std::vector<Row>> batch)
+    : ExecNode(std::move(schema)), batch_(std::move(batch)) {}
+
+void BufferScanNode::SetBatch(std::shared_ptr<const std::vector<Row>> batch) {
+  batch_ = std::move(batch);
+}
+
+Status BufferScanNode::Open(ExecContext*) {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> BufferScanNode::Next(Row* row) {
+  if (batch_ == nullptr || pos_ >= batch_->size()) return false;
+  *row = (*batch_)[pos_++];
+  return true;
+}
+
+// --- SeqScanNode ------------------------------------------------------------
+
+SeqScanNode::SeqScanNode(Schema schema, const catalog::TableInfo* table,
+                         BoundExprPtr predicate)
+    : ExecNode(std::move(schema)),
+      table_(table),
+      predicate_(std::move(predicate)) {}
+
+Status SeqScanNode::Open(ExecContext* ctx) {
+  rows_.clear();
+  pos_ = 0;
+  Status inner = Status::OK();
+  Status scan = table_->heap->Scan(
+      *ctx->txns, ctx->snapshot, ctx->reader,
+      [&](storage::RowId, const Row& row) {
+        if (predicate_ != nullptr) {
+          auto keep = EvalPredicate(*predicate_, row, ctx->eval);
+          if (!keep.ok()) {
+            inner = keep.status();
+            return false;
+          }
+          if (!*keep) return true;
+        }
+        rows_.push_back(row);
+        return true;
+      });
+  RETURN_IF_ERROR(inner);
+  return scan;
+}
+
+Result<bool> SeqScanNode::Next(Row* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = std::move(rows_[pos_++]);
+  return true;
+}
+
+void SeqScanNode::Explain(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append("SeqScan(");
+  out->append(table_->name);
+  if (predicate_ != nullptr) out->append(", filtered");
+  out->append(")\n");
+}
+
+// --- IndexScanNode ----------------------------------------------------------
+
+IndexScanNode::IndexScanNode(Schema schema, const catalog::TableInfo* table,
+                             const storage::BTreeIndex* index,
+                             std::optional<Value> lo, bool lo_inclusive,
+                             std::optional<Value> hi, bool hi_inclusive,
+                             BoundExprPtr residual)
+    : ExecNode(std::move(schema)),
+      table_(table),
+      index_(index),
+      lo_(std::move(lo)),
+      hi_(std::move(hi)),
+      lo_inclusive_(lo_inclusive),
+      hi_inclusive_(hi_inclusive),
+      residual_(std::move(residual)) {}
+
+Status IndexScanNode::Open(ExecContext* ctx) {
+  rows_.clear();
+  pos_ = 0;
+  std::vector<storage::RowId> ids;
+  index_->ScanRange(lo_, lo_inclusive_, hi_, hi_inclusive_,
+                    [&](const Value&, storage::RowId id) {
+                      ids.push_back(id);
+                      return true;
+                    });
+  for (storage::RowId id : ids) {
+    ASSIGN_OR_RETURN(auto meta, table_->heap->GetRowMeta(id));
+    if (!ctx->txns->IsVisible(meta.xmin, meta.xmax, ctx->snapshot,
+                              ctx->reader)) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(Row row, table_->heap->GetRow(id));
+    if (residual_ != nullptr) {
+      ASSIGN_OR_RETURN(bool keep, EvalPredicate(*residual_, row, ctx->eval));
+      if (!keep) continue;
+    }
+    rows_.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Result<bool> IndexScanNode::Next(Row* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = std::move(rows_[pos_++]);
+  return true;
+}
+
+void IndexScanNode::Explain(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append("IndexScan(");
+  out->append(table_->name);
+  out->append(".");
+  out->append(index_->column_name());
+  out->append(")\n");
+}
+
+// --- FilterNode -------------------------------------------------------------
+
+FilterNode::FilterNode(ExecNodePtr child, BoundExprPtr predicate)
+    : ExecNode(child->schema()),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)) {}
+
+Status FilterNode::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<bool> FilterNode::Next(Row* row) {
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    ASSIGN_OR_RETURN(bool keep, EvalPredicate(*predicate_, *row, ctx_->eval));
+    if (keep) return true;
+  }
+}
+
+void FilterNode::Explain(int indent, std::string* out) const {
+  ExecNode::Explain(indent, out);
+  child_->Explain(indent + 1, out);
+}
+
+// --- ProjectNode ------------------------------------------------------------
+
+ProjectNode::ProjectNode(Schema schema, ExecNodePtr child,
+                         std::vector<BoundExprPtr> exprs)
+    : ExecNode(std::move(schema)),
+      child_(std::move(child)),
+      exprs_(std::move(exprs)) {}
+
+Status ProjectNode::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<bool> ProjectNode::Next(Row* row) {
+  Row input;
+  ASSIGN_OR_RETURN(bool has, child_->Next(&input));
+  if (!has) return false;
+  row->clear();
+  row->reserve(exprs_.size());
+  for (const auto& expr : exprs_) {
+    ASSIGN_OR_RETURN(Value v, expr->Eval(input, ctx_->eval));
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+void ProjectNode::Explain(int indent, std::string* out) const {
+  ExecNode::Explain(indent, out);
+  child_->Explain(indent + 1, out);
+}
+
+// --- LimitNode --------------------------------------------------------------
+
+LimitNode::LimitNode(ExecNodePtr child, int64_t limit, int64_t offset)
+    : ExecNode(child->schema()),
+      child_(std::move(child)),
+      limit_(limit),
+      offset_(offset) {}
+
+Status LimitNode::Open(ExecContext* ctx) {
+  returned_ = 0;
+  skipped_ = 0;
+  return child_->Open(ctx);
+}
+
+Result<bool> LimitNode::Next(Row* row) {
+  while (skipped_ < offset_) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    ++skipped_;
+  }
+  if (limit_ >= 0 && returned_ >= limit_) return false;
+  ASSIGN_OR_RETURN(bool has, child_->Next(row));
+  if (!has) return false;
+  ++returned_;
+  return true;
+}
+
+void LimitNode::Explain(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append("Limit(" + std::to_string(limit_) +
+              (offset_ > 0 ? ", offset " + std::to_string(offset_) : "") +
+              ")\n");
+  child_->Explain(indent + 1, out);
+}
+
+// --- DistinctNode -----------------------------------------------------------
+
+DistinctNode::DistinctNode(ExecNodePtr child)
+    : ExecNode(child->schema()), child_(std::move(child)) {}
+
+Status DistinctNode::Open(ExecContext* ctx) {
+  unique_rows_.clear();
+  pos_ = 0;
+  RETURN_IF_ERROR(child_->Open(ctx));
+  std::unordered_map<size_t, std::vector<size_t>> seen;  // hash -> indexes
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    size_t h = HashValues(row);
+    auto& bucket = seen[h];
+    bool duplicate = false;
+    for (size_t idx : bucket) {
+      if (ValuesEqual(unique_rows_[idx], row)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      bucket.push_back(unique_rows_.size());
+      unique_rows_.push_back(row);
+    }
+  }
+  child_->Close();
+  return Status::OK();
+}
+
+Result<bool> DistinctNode::Next(Row* row) {
+  if (pos_ >= unique_rows_.size()) return false;
+  *row = unique_rows_[pos_++];
+  return true;
+}
+
+void DistinctNode::Explain(int indent, std::string* out) const {
+  ExecNode::Explain(indent, out);
+  child_->Explain(indent + 1, out);
+}
+
+// --- SortNode ---------------------------------------------------------------
+
+SortNode::SortNode(ExecNodePtr child, std::vector<SortKey> keys)
+    : ExecNode(child->schema()),
+      child_(std::move(child)),
+      keys_(std::move(keys)) {}
+
+Status SortNode::Open(ExecContext* ctx) {
+  rows_.clear();
+  pos_ = 0;
+  RETURN_IF_ERROR(child_->Open(ctx));
+  std::vector<std::pair<std::vector<Value>, Row>> keyed;
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    std::vector<Value> key;
+    key.reserve(keys_.size());
+    for (const SortKey& k : keys_) {
+      ASSIGN_OR_RETURN(Value v, k.expr->Eval(row, ctx->eval));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), std::move(row));
+  }
+  child_->Close();
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [this](const auto& a, const auto& b) {
+                     for (size_t i = 0; i < keys_.size(); ++i) {
+                       int c = a.first[i].Compare(b.first[i]);
+                       if (c != 0) return keys_[i].ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  rows_.reserve(keyed.size());
+  for (auto& [key, r] : keyed) rows_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Result<bool> SortNode::Next(Row* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = std::move(rows_[pos_++]);
+  return true;
+}
+
+void SortNode::Explain(int indent, std::string* out) const {
+  ExecNode::Explain(indent, out);
+  child_->Explain(indent + 1, out);
+}
+
+// --- HashAggregateNode ------------------------------------------------------
+
+HashAggregateNode::HashAggregateNode(Schema schema, ExecNodePtr child,
+                                     std::vector<BoundExprPtr> group_exprs,
+                                     std::vector<AggregateCall> agg_calls)
+    : ExecNode(std::move(schema)),
+      child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      agg_calls_(std::move(agg_calls)) {}
+
+Status HashAggregateNode::Open(ExecContext* ctx) {
+  results_.clear();
+  pos_ = 0;
+  RETURN_IF_ERROR(child_->Open(ctx));
+
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggStatePtr> states;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<size_t, std::vector<size_t>> lookup;  // hash -> indexes
+
+  auto new_states = [&]() -> Result<std::vector<AggStatePtr>> {
+    std::vector<AggStatePtr> states;
+    states.reserve(agg_calls_.size());
+    for (const AggregateCall& call : agg_calls_) {
+      ASSIGN_OR_RETURN(AggStatePtr state,
+                       MakeAggState(call.function, call.star, call.distinct));
+      states.push_back(std::move(state));
+    }
+    return states;
+  };
+
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    std::vector<Value> keys;
+    keys.reserve(group_exprs_.size());
+    for (const auto& g : group_exprs_) {
+      ASSIGN_OR_RETURN(Value v, g->Eval(row, ctx->eval));
+      keys.push_back(std::move(v));
+    }
+    size_t h = HashValues(keys);
+    auto& bucket = lookup[h];
+    Group* group = nullptr;
+    for (size_t idx : bucket) {
+      if (ValuesEqual(groups[idx].keys, keys)) {
+        group = &groups[idx];
+        break;
+      }
+    }
+    if (group == nullptr) {
+      bucket.push_back(groups.size());
+      Group g;
+      g.keys = std::move(keys);
+      ASSIGN_OR_RETURN(g.states, new_states());
+      groups.push_back(std::move(g));
+      group = &groups.back();
+    }
+    for (size_t i = 0; i < agg_calls_.size(); ++i) {
+      Value arg = Value::Null();
+      if (agg_calls_[i].argument != nullptr) {
+        ASSIGN_OR_RETURN(arg, agg_calls_[i].argument->Eval(row, ctx->eval));
+      }
+      group->states[i]->Update(arg);
+    }
+  }
+  child_->Close();
+
+  // Scalar aggregation produces one row even on empty input.
+  if (groups.empty() && group_exprs_.empty()) {
+    Group g;
+    ASSIGN_OR_RETURN(g.states, new_states());
+    groups.push_back(std::move(g));
+  }
+
+  results_.reserve(groups.size());
+  for (Group& g : groups) {
+    Row out = std::move(g.keys);
+    for (const AggStatePtr& state : g.states) {
+      out.push_back(state->Final());
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateNode::Next(Row* row) {
+  if (pos_ >= results_.size()) return false;
+  *row = std::move(results_[pos_++]);
+  return true;
+}
+
+void HashAggregateNode::Explain(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append("HashAggregate(groups=" + std::to_string(group_exprs_.size()) +
+              ", aggs=" + std::to_string(agg_calls_.size()) + ")\n");
+  child_->Explain(indent + 1, out);
+}
+
+// --- HashJoinNode -----------------------------------------------------------
+
+HashJoinNode::HashJoinNode(Schema schema, ExecNodePtr left, ExecNodePtr right,
+                           std::vector<BoundExprPtr> left_keys,
+                           std::vector<BoundExprPtr> right_keys,
+                           BoundExprPtr residual, sql::JoinType join_type)
+    : ExecNode(std::move(schema)),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)),
+      join_type_(join_type) {}
+
+Status HashJoinNode::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  hash_table_.clear();
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+  left_exhausted_ = false;
+  current_matched_ = false;
+  started_ = false;
+  RETURN_IF_ERROR(left_->Open(ctx));
+  RETURN_IF_ERROR(right_->Open(ctx));
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+    if (!has) break;
+    std::vector<Value> key;
+    key.reserve(right_keys_.size());
+    bool has_null = false;
+    for (const auto& k : right_keys_) {
+      ASSIGN_OR_RETURN(Value v, k->Eval(row, ctx->eval));
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    if (has_null) continue;  // NULL keys never join
+    // Store the key values with the row so probes can confirm equality.
+    size_t h = HashValues(key);
+    Row keyed = row;
+    for (Value& v : key) keyed.push_back(std::move(v));
+    hash_table_[h].push_back(std::move(keyed));
+  }
+  right_->Close();
+  return Status::OK();
+}
+
+Result<bool> HashJoinNode::PullLeft() {
+  ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+  if (!has) {
+    left_exhausted_ = true;
+    return false;
+  }
+  current_left_key_.clear();
+  current_left_key_.reserve(left_keys_.size());
+  bool has_null = false;
+  for (const auto& k : left_keys_) {
+    ASSIGN_OR_RETURN(Value v, k->Eval(current_left_, ctx_->eval));
+    if (v.is_null()) has_null = true;
+    current_left_key_.push_back(std::move(v));
+  }
+  if (has_null) {
+    current_bucket_ = nullptr;
+  } else {
+    auto it = hash_table_.find(HashValues(current_left_key_));
+    current_bucket_ = it == hash_table_.end() ? nullptr : &it->second;
+  }
+  bucket_pos_ = 0;
+  current_matched_ = false;
+  return true;
+}
+
+Result<bool> HashJoinNode::Next(Row* row) {
+  if (!started_) {
+    started_ = true;
+    ASSIGN_OR_RETURN(bool has, PullLeft());
+    if (!has) return false;
+  }
+  for (;;) {
+    if (left_exhausted_) return false;
+    while (current_bucket_ != nullptr &&
+           bucket_pos_ < current_bucket_->size()) {
+      const Row& keyed = (*current_bucket_)[bucket_pos_++];
+      size_t right_width = keyed.size() - right_keys_.size();
+      std::vector<Value> rkey(keyed.begin() + right_width, keyed.end());
+      if (!ValuesEqual(current_left_key_, rkey)) continue;
+      Row joined = current_left_;
+      joined.insert(joined.end(), keyed.begin(),
+                    keyed.begin() + right_width);
+      if (residual_ != nullptr) {
+        ASSIGN_OR_RETURN(bool keep,
+                         EvalPredicate(*residual_, joined, ctx_->eval));
+        if (!keep) continue;
+      }
+      current_matched_ = true;
+      *row = std::move(joined);
+      return true;
+    }
+    // Bucket exhausted for this left row.
+    if (join_type_ == sql::JoinType::kLeft && !current_matched_) {
+      Row joined = current_left_;
+      size_t right_width = schema_.num_columns() - current_left_.size();
+      for (size_t i = 0; i < right_width; ++i) joined.push_back(Value::Null());
+      current_matched_ = true;  // emit the null-padded row only once
+      *row = std::move(joined);
+      return true;
+    }
+    ASSIGN_OR_RETURN(bool has, PullLeft());
+    if (!has) return false;
+  }
+}
+
+void HashJoinNode::Close() {
+  left_->Close();
+  hash_table_.clear();
+}
+
+void HashJoinNode::Explain(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(std::string("HashJoin(") +
+              (join_type_ == sql::JoinType::kLeft ? "left" : "inner") + ")\n");
+  left_->Explain(indent + 1, out);
+  right_->Explain(indent + 1, out);
+}
+
+// --- IndexLookupJoinNode ----------------------------------------------------
+
+IndexLookupJoinNode::IndexLookupJoinNode(Schema schema, ExecNodePtr left,
+                                         const catalog::TableInfo* table,
+                                         const storage::BTreeIndex* index,
+                                         BoundExprPtr left_key,
+                                         BoundExprPtr residual,
+                                         sql::JoinType join_type)
+    : ExecNode(std::move(schema)),
+      left_(std::move(left)),
+      table_(table),
+      index_(index),
+      left_key_(std::move(left_key)),
+      residual_(std::move(residual)),
+      join_type_(join_type) {}
+
+Status IndexLookupJoinNode::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  matches_.clear();
+  match_pos_ = 0;
+  left_exhausted_ = false;
+  started_ = false;
+  current_matched_ = false;
+  return left_->Open(ctx);
+}
+
+Result<bool> IndexLookupJoinNode::PullLeft() {
+  ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+  if (!has) {
+    left_exhausted_ = true;
+    return false;
+  }
+  matches_.clear();
+  match_pos_ = 0;
+  current_matched_ = false;
+  ASSIGN_OR_RETURN(Value key, left_key_->Eval(current_left_, ctx_->eval));
+  if (!key.is_null()) {  // NULL keys never join
+    index_->ScanEqual(key, [&](storage::RowId id) {
+      matches_.push_back(id);
+      return true;
+    });
+  }
+  return true;
+}
+
+Result<bool> IndexLookupJoinNode::Next(Row* row) {
+  if (!started_) {
+    started_ = true;
+    ASSIGN_OR_RETURN(bool has, PullLeft());
+    if (!has) return false;
+  }
+  for (;;) {
+    if (left_exhausted_) return false;
+    while (match_pos_ < matches_.size()) {
+      storage::RowId id = matches_[match_pos_++];
+      ASSIGN_OR_RETURN(auto meta, table_->heap->GetRowMeta(id));
+      if (!ctx_->txns->IsVisible(meta.xmin, meta.xmax, ctx_->snapshot,
+                                 ctx_->reader)) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(Row right_row, table_->heap->GetRow(id));
+      Row joined = current_left_;
+      joined.insert(joined.end(), right_row.begin(), right_row.end());
+      if (residual_ != nullptr) {
+        ASSIGN_OR_RETURN(bool keep,
+                         EvalPredicate(*residual_, joined, ctx_->eval));
+        if (!keep) continue;
+      }
+      current_matched_ = true;
+      *row = std::move(joined);
+      return true;
+    }
+    if (join_type_ == sql::JoinType::kLeft && !current_matched_) {
+      Row joined = current_left_;
+      size_t right_width = table_->schema.num_columns();
+      for (size_t i = 0; i < right_width; ++i) joined.push_back(Value::Null());
+      current_matched_ = true;
+      *row = std::move(joined);
+      return true;
+    }
+    ASSIGN_OR_RETURN(bool has, PullLeft());
+    if (!has) return false;
+  }
+}
+
+void IndexLookupJoinNode::Explain(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(std::string("IndexLookupJoin(") + table_->name + "." +
+              index_->column_name() + ", " +
+              (join_type_ == sql::JoinType::kLeft ? "left" : "inner") +
+              ")\n");
+  left_->Explain(indent + 1, out);
+}
+
+// --- NestedLoopJoinNode -----------------------------------------------------
+
+NestedLoopJoinNode::NestedLoopJoinNode(Schema schema, ExecNodePtr left,
+                                       ExecNodePtr right,
+                                       BoundExprPtr condition,
+                                       sql::JoinType join_type)
+    : ExecNode(std::move(schema)),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      condition_(std::move(condition)),
+      join_type_(join_type) {}
+
+Status NestedLoopJoinNode::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  right_rows_.clear();
+  right_pos_ = 0;
+  left_valid_ = false;
+  current_matched_ = false;
+  RETURN_IF_ERROR(left_->Open(ctx));
+  RETURN_IF_ERROR(right_->Open(ctx));
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+    if (!has) break;
+    right_rows_.push_back(std::move(row));
+  }
+  right_->Close();
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinNode::Next(Row* row) {
+  for (;;) {
+    if (!left_valid_) {
+      ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+      if (!has) return false;
+      left_valid_ = true;
+      right_pos_ = 0;
+      current_matched_ = false;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& right_row = right_rows_[right_pos_++];
+      Row joined = current_left_;
+      joined.insert(joined.end(), right_row.begin(), right_row.end());
+      if (condition_ != nullptr) {
+        ASSIGN_OR_RETURN(bool keep,
+                         EvalPredicate(*condition_, joined, ctx_->eval));
+        if (!keep) continue;
+      }
+      current_matched_ = true;
+      *row = std::move(joined);
+      return true;
+    }
+    if (join_type_ == sql::JoinType::kLeft && !current_matched_) {
+      Row joined = current_left_;
+      size_t right_width = schema_.num_columns() - current_left_.size();
+      for (size_t i = 0; i < right_width; ++i) joined.push_back(Value::Null());
+      left_valid_ = false;
+      *row = std::move(joined);
+      return true;
+    }
+    left_valid_ = false;
+  }
+}
+
+void NestedLoopJoinNode::Close() {
+  left_->Close();
+  right_rows_.clear();
+}
+
+void NestedLoopJoinNode::Explain(int indent, std::string* out) const {
+  ExecNode::Explain(indent, out);
+  left_->Explain(indent + 1, out);
+  right_->Explain(indent + 1, out);
+}
+
+// --- UnionAllNode -----------------------------------------------------------
+
+UnionAllNode::UnionAllNode(Schema schema, std::vector<ExecNodePtr> children)
+    : ExecNode(std::move(schema)), children_(std::move(children)) {}
+
+Status UnionAllNode::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  current_ = 0;
+  if (!children_.empty()) {
+    RETURN_IF_ERROR(children_[0]->Open(ctx));
+  }
+  return Status::OK();
+}
+
+Result<bool> UnionAllNode::Next(Row* row) {
+  while (current_ < children_.size()) {
+    ASSIGN_OR_RETURN(bool has, children_[current_]->Next(row));
+    if (has) return true;
+    children_[current_]->Close();
+    ++current_;
+    if (current_ < children_.size()) {
+      RETURN_IF_ERROR(children_[current_]->Open(ctx_));
+    }
+  }
+  return false;
+}
+
+void UnionAllNode::Close() {
+  if (current_ < children_.size()) children_[current_]->Close();
+}
+
+void UnionAllNode::Explain(int indent, std::string* out) const {
+  ExecNode::Explain(indent, out);
+  for (const auto& child : children_) child->Explain(indent + 1, out);
+}
+
+}  // namespace streamrel::exec

@@ -1,0 +1,743 @@
+#include "exec/planner.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "exec/binder.h"
+
+namespace streamrel::exec {
+
+namespace {
+
+constexpr int kMaxViewDepth = 16;
+
+/// True if `expr` binds cleanly as a scalar against `schema`.
+bool BindsOn(const sql::Expr& expr, const Schema& schema) {
+  ExprBinder binder(schema);
+  return binder.BindScalar(expr).ok();
+}
+
+/// Combines conjuncts into one AND tree (cloned); nullptr if empty.
+sql::ExprPtr CombineConjuncts(const std::vector<const sql::Expr*>& conjuncts) {
+  sql::ExprPtr combined;
+  for (const sql::Expr* c : conjuncts) {
+    combined = combined == nullptr
+                   ? c->Clone()
+                   : sql::Expr::MakeBinary(sql::BinaryOp::kAnd,
+                                           std::move(combined), c->Clone());
+  }
+  return combined;
+}
+
+/// Output column name for a select item: alias > column name > expression
+/// text.
+std::string OutputName(const sql::SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == sql::ExprKind::kColumnRef) {
+    return item.expr->column_name;
+  }
+  return item.expr->ToString();
+}
+
+}  // namespace
+
+void SplitConjuncts(const sql::Expr& expr,
+                    std::vector<const sql::Expr*>* out) {
+  if (expr.kind == sql::ExprKind::kBinary &&
+      expr.binary_op == sql::BinaryOp::kAnd) {
+    SplitConjuncts(*expr.children[0], out);
+    SplitConjuncts(*expr.children[1], out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+Result<Planner::RelInput> Planner::PlanBaseTable(
+    const catalog::TableInfo& info, const std::string& qualifier) const {
+  RelInput input;
+  input.schema = info.schema.WithQualifier(qualifier);
+  input.node = std::make_unique<SeqScanNode>(info.schema, &info, nullptr);
+  input.plain_base_table = &info;
+  return input;
+}
+
+Result<Planner::RelInput> Planner::PlanTableRef(
+    const sql::TableRef& ref, std::vector<StreamLeaf>* leaves,
+    std::vector<std::string>* tables, int view_depth) const {
+  if (view_depth > kMaxViewDepth) {
+    return Status::BindError("view nesting too deep (cycle?)");
+  }
+  switch (ref.kind) {
+    case sql::TableRefKind::kBase: {
+      std::string qualifier = ref.alias.empty() ? ref.name : ref.alias;
+      if (const catalog::TableInfo* table = catalog_->GetTable(ref.name)) {
+        if (ref.window.has_value()) {
+          return Status::BindError("window clause on table '" + ref.name +
+                                   "' (windows apply to streams)");
+        }
+        tables->push_back(ToLower(table->name));
+        return PlanBaseTable(*table, qualifier);
+      }
+      if (const catalog::StreamInfo* stream = catalog_->GetStream(ref.name)) {
+        if (!ref.window.has_value()) {
+          return Status::BindError(
+              "stream '" + ref.name +
+              "' requires a window clause (e.g. <VISIBLE '5 minutes' "
+              "ADVANCE '1 minute'>) when used in FROM");
+        }
+        RelInput input;
+        input.schema = stream->schema.WithQualifier(qualifier);
+        auto buffer = std::make_unique<BufferScanNode>(stream->schema,
+                                                       nullptr);
+        StreamLeaf leaf;
+        leaf.stream_name = stream->name;
+        leaf.window = *ref.window;
+        leaf.buffer = buffer.get();
+        leaf.stream_schema = stream->schema;
+        leaves->push_back(std::move(leaf));
+        input.node = std::move(buffer);
+        return input;
+      }
+      if (const catalog::ViewInfo* view = catalog_->GetView(ref.name)) {
+        // Macro-expand the view: plan its defining query. Streaming views
+        // (Section 3.2) are instantiated here, on use.
+        std::vector<StreamLeaf> view_leaves;
+        ASSIGN_OR_RETURN(PlannedQuery sub,
+                         PlanSelectInternal(*view->select, &view_leaves,
+                                            tables));
+        for (StreamLeaf& leaf : view_leaves) leaves->push_back(std::move(leaf));
+        RelInput input;
+        input.schema = sub.output_schema.WithQualifier(qualifier);
+        input.node = std::move(sub.root);
+        return input;
+      }
+      return Status::NotFound("relation '" + ref.name +
+                              "' does not exist (no table, stream, or view)");
+    }
+    case sql::TableRefKind::kSubquery: {
+      ASSIGN_OR_RETURN(PlannedQuery sub,
+                       PlanSelectInternal(*ref.subquery, leaves, tables));
+      RelInput input;
+      input.schema = sub.output_schema.WithQualifier(ref.alias);
+      input.node = std::move(sub.root);
+      return input;
+    }
+    case sql::TableRefKind::kJoin: {
+      ASSIGN_OR_RETURN(RelInput left,
+                       PlanTableRef(*ref.left, leaves, tables, view_depth));
+      ASSIGN_OR_RETURN(RelInput right,
+                       PlanTableRef(*ref.right, leaves, tables, view_depth));
+      // ON conjuncts are always consumed by the join itself (critical for
+      // LEFT joins, where evaluating them above the join would discard the
+      // null-padded rows).
+      std::vector<const sql::Expr*> no_where_conjuncts;
+      ASSIGN_OR_RETURN(RelInput joined,
+                       JoinInputs(std::move(left), std::move(right),
+                                  ref.join_type, ref.join_condition.get(),
+                                  &no_where_conjuncts));
+      if (!ref.alias.empty()) {
+        joined.schema = joined.schema.WithQualifier(ref.alias);
+      }
+      return joined;
+    }
+  }
+  return Status::Internal("unreachable table-ref kind");
+}
+
+Result<Planner::RelInput> Planner::ApplyLocalPredicates(
+    RelInput input, const catalog::TableInfo* base_table,
+    std::vector<const sql::Expr*>* conjuncts) const {
+  // Collect the conjuncts that bind against this input alone.
+  std::vector<const sql::Expr*> local;
+  for (auto it = conjuncts->begin(); it != conjuncts->end();) {
+    if (BindsOn(**it, input.schema)) {
+      local.push_back(*it);
+      it = conjuncts->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (local.empty()) return input;
+
+  ExprBinder binder(input.schema);
+
+  if (base_table != nullptr) {
+    // Index selection: find bounds of the form col OP literal over an
+    // indexed column. The first indexed column with usable bounds wins.
+    std::optional<Value> lo, hi;
+    bool lo_inclusive = true, hi_inclusive = true;
+    const storage::BTreeIndex* chosen = nullptr;
+    std::vector<const sql::Expr*> residual_asts;
+    for (const sql::Expr* c : local) {
+      bool consumed = false;
+      if (c->kind == sql::ExprKind::kBinary) {
+        auto try_bound = [&](const sql::Expr& col_side,
+                             const sql::Expr& lit_side,
+                             sql::BinaryOp op) -> Result<bool> {
+          if (col_side.kind != sql::ExprKind::kColumnRef) return false;
+          ExprBinder lit_binder(input.schema);
+          ASSIGN_OR_RETURN(BoundExprPtr lit_bound,
+                           lit_binder.BindScalar(lit_side));
+          if (lit_bound->kind != BoundExprKind::kLiteral) return false;
+          const storage::BTreeIndex* index =
+              base_table->FindIndexOn(col_side.column_name);
+          if (index == nullptr) return false;
+          if (chosen != nullptr && chosen != index) return false;
+          const Value& v = lit_bound->literal;
+          switch (op) {
+            case sql::BinaryOp::kEq:
+              lo = v;
+              hi = v;
+              lo_inclusive = hi_inclusive = true;
+              break;
+            case sql::BinaryOp::kLt:
+              hi = v;
+              hi_inclusive = false;
+              break;
+            case sql::BinaryOp::kLe:
+              hi = v;
+              hi_inclusive = true;
+              break;
+            case sql::BinaryOp::kGt:
+              lo = v;
+              lo_inclusive = false;
+              break;
+            case sql::BinaryOp::kGe:
+              lo = v;
+              lo_inclusive = true;
+              break;
+            default:
+              return false;
+          }
+          chosen = index;
+          return true;
+        };
+        auto flip = [](sql::BinaryOp op) {
+          switch (op) {
+            case sql::BinaryOp::kLt:
+              return sql::BinaryOp::kGt;
+            case sql::BinaryOp::kLe:
+              return sql::BinaryOp::kGe;
+            case sql::BinaryOp::kGt:
+              return sql::BinaryOp::kLt;
+            case sql::BinaryOp::kGe:
+              return sql::BinaryOp::kLe;
+            default:
+              return op;
+          }
+        };
+        auto direct = try_bound(*c->children[0], *c->children[1],
+                                c->binary_op);
+        if (direct.ok() && *direct) {
+          consumed = true;
+        } else {
+          auto flipped = try_bound(*c->children[1], *c->children[0],
+                                   flip(c->binary_op));
+          if (flipped.ok() && *flipped) consumed = true;
+        }
+      }
+      if (!consumed) residual_asts.push_back(c);
+    }
+    if (chosen != nullptr) {
+      BoundExprPtr residual;
+      if (!residual_asts.empty()) {
+        ASSIGN_OR_RETURN(residual,
+                         binder.BindScalar(*CombineConjuncts(residual_asts)));
+      }
+      RelInput out;
+      out.schema = input.schema;
+      out.node = std::make_unique<IndexScanNode>(
+          base_table->schema, base_table, chosen, lo, lo_inclusive, hi,
+          hi_inclusive, std::move(residual));
+      return out;
+    }
+    // No index: push the combined predicate into the sequential scan.
+    ASSIGN_OR_RETURN(BoundExprPtr bound,
+                     binder.BindScalar(*CombineConjuncts(local)));
+    RelInput out;
+    out.schema = input.schema;
+    out.node = std::make_unique<SeqScanNode>(base_table->schema, base_table,
+                                             std::move(bound));
+    return out;
+  }
+
+  ASSIGN_OR_RETURN(BoundExprPtr bound,
+                   binder.BindScalar(*CombineConjuncts(local)));
+  input.node =
+      std::make_unique<FilterNode>(std::move(input.node), std::move(bound));
+  input.plain_base_table = nullptr;
+  return input;
+}
+
+Result<Planner::RelInput> Planner::JoinInputs(
+    RelInput left, RelInput right, sql::JoinType join_type,
+    const sql::Expr* on_condition,
+    std::vector<const sql::Expr*>* conjuncts) const {
+  Schema combined = Schema::Concat(left.schema, right.schema);
+  std::vector<const sql::Expr*> candidates;
+  if (on_condition != nullptr) SplitConjuncts(*on_condition, &candidates);
+
+  // Conjuncts from WHERE that bind on the combined schema (but not on
+  // either side alone — those were already pushed down) participate in this
+  // join. For LEFT joins WHERE conjuncts must stay above the join to keep
+  // null-extension semantics, so only ON conjuncts apply.
+  if (join_type != sql::JoinType::kLeft) {
+    for (auto it = conjuncts->begin(); it != conjuncts->end();) {
+      if (BindsOn(**it, combined)) {
+        candidates.push_back(*it);
+        it = conjuncts->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Partition candidates into equi-key pairs (keeping their ASTs, so a
+  // pair can be demoted to a residual later) and residual conditions.
+  struct EquiPair {
+    const sql::Expr* ast;
+    BoundExprPtr left_expr;   // bound against left.schema
+    BoundExprPtr right_expr;  // bound against right.schema
+  };
+  std::vector<EquiPair> equi;
+  std::vector<const sql::Expr*> residual_asts;
+  for (const sql::Expr* c : candidates) {
+    bool is_key = false;
+    if (c->kind == sql::ExprKind::kBinary &&
+        c->binary_op == sql::BinaryOp::kEq) {
+      const sql::Expr& a = *c->children[0];
+      const sql::Expr& b = *c->children[1];
+      ExprBinder lb(left.schema), rb(right.schema);
+      auto a_on_left = lb.BindScalar(a);
+      auto b_on_right = rb.BindScalar(b);
+      if (a_on_left.ok() && b_on_right.ok()) {
+        equi.push_back(
+            EquiPair{c, std::move(*a_on_left), std::move(*b_on_right)});
+        is_key = true;
+      } else {
+        ExprBinder lb2(left.schema), rb2(right.schema);
+        auto b_on_left = lb2.BindScalar(b);
+        auto a_on_right = rb2.BindScalar(a);
+        if (b_on_left.ok() && a_on_right.ok()) {
+          equi.push_back(
+              EquiPair{c, std::move(*b_on_left), std::move(*a_on_right)});
+          is_key = true;
+        }
+      }
+    }
+    if (!is_key) residual_asts.push_back(c);
+  }
+
+  RelInput out;
+  out.schema = std::move(combined);
+  Schema node_schema = Schema::Concat(left.node->schema(),
+                                      right.node->schema());
+
+  // Index nested-loop join: when the right side is a bare base-table scan
+  // and some equi key is a plain indexed column, probe the index per left
+  // row instead of hashing the whole table. This is what keeps the
+  // paper's stream-vs-active-table joins cheap as history grows.
+  if (right.plain_base_table != nullptr && !equi.empty()) {
+    for (size_t i = 0; i < equi.size(); ++i) {
+      if (equi[i].right_expr->kind != BoundExprKind::kColumn) continue;
+      const std::string& column =
+          right.plain_base_table->schema
+              .column(equi[i].right_expr->column_index)
+              .name;
+      const storage::BTreeIndex* index =
+          right.plain_base_table->FindIndexOn(column);
+      if (index == nullptr) continue;
+      // Remaining equi pairs join as residuals over the combined row.
+      for (size_t j = 0; j < equi.size(); ++j) {
+        if (j != i) residual_asts.push_back(equi[j].ast);
+      }
+      BoundExprPtr residual;
+      if (!residual_asts.empty()) {
+        ExprBinder binder(out.schema);
+        ASSIGN_OR_RETURN(residual,
+                         binder.BindScalar(*CombineConjuncts(residual_asts)));
+      }
+      out.node = std::make_unique<IndexLookupJoinNode>(
+          std::move(node_schema), std::move(left.node),
+          right.plain_base_table, index, std::move(equi[i].left_expr),
+          std::move(residual), join_type);
+      return out;
+    }
+  }
+
+  BoundExprPtr residual;
+  if (!residual_asts.empty()) {
+    ExprBinder binder(out.schema);
+    ASSIGN_OR_RETURN(residual,
+                     binder.BindScalar(*CombineConjuncts(residual_asts)));
+  }
+  if (!equi.empty()) {
+    std::vector<BoundExprPtr> left_keys, right_keys;
+    for (EquiPair& pair : equi) {
+      left_keys.push_back(std::move(pair.left_expr));
+      right_keys.push_back(std::move(pair.right_expr));
+    }
+    out.node = std::make_unique<HashJoinNode>(
+        std::move(node_schema), std::move(left.node), std::move(right.node),
+        std::move(left_keys), std::move(right_keys), std::move(residual),
+        join_type);
+  } else {
+    out.node = std::make_unique<NestedLoopJoinNode>(
+        std::move(node_schema), std::move(left.node), std::move(right.node),
+        std::move(residual), join_type);
+  }
+  return out;
+}
+
+Result<PlannedQuery> Planner::PlanSelectNoUnion(
+    const sql::SelectStmt& stmt, std::vector<StreamLeaf>* leaves,
+    std::vector<std::string>* tables) const {
+  if (stmt.select_list.empty()) {
+    return Status::BindError("empty select list");
+  }
+
+  // --- FROM ---------------------------------------------------------------
+  std::vector<RelInput> inputs;
+  for (const auto& ref : stmt.from) {
+    ASSIGN_OR_RETURN(RelInput input, PlanTableRef(*ref, leaves, tables, 0));
+    inputs.push_back(std::move(input));
+  }
+
+  std::vector<const sql::Expr*> conjuncts;
+  if (stmt.where != nullptr) SplitConjuncts(*stmt.where, &conjuncts);
+
+  RelInput current;
+  if (inputs.empty()) {
+    // FROM-less SELECT (e.g. SELECT 1+1): a single empty row.
+    auto batch = std::make_shared<std::vector<Row>>();
+    batch->push_back(Row{});
+    current.node = std::make_unique<BufferScanNode>(Schema(), batch);
+    current.schema = Schema();
+  } else {
+    // Push single-relation predicates into each input (index selection for
+    // base tables happens here). We must know which inputs are base tables:
+    // re-resolve by node type via dynamic_cast-free bookkeeping — instead,
+    // consult the catalog again from the FROM ast.
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const catalog::TableInfo* base = nullptr;
+      if (stmt.from[i]->kind == sql::TableRefKind::kBase) {
+        base = catalog_->GetTable(stmt.from[i]->name);
+      }
+      ASSIGN_OR_RETURN(inputs[i], ApplyLocalPredicates(std::move(inputs[i]),
+                                                       base, &conjuncts));
+    }
+    current = std::move(inputs[0]);
+    for (size_t i = 1; i < inputs.size(); ++i) {
+      ASSIGN_OR_RETURN(current,
+                       JoinInputs(std::move(current), std::move(inputs[i]),
+                                  sql::JoinType::kInner, nullptr, &conjuncts));
+    }
+  }
+
+  // Any remaining conjuncts apply above the joins.
+  if (!conjuncts.empty()) {
+    ExprBinder binder(current.schema);
+    auto bound = binder.BindScalar(*CombineConjuncts(conjuncts));
+    if (!bound.ok()) return bound.status();
+    current.node = std::make_unique<FilterNode>(std::move(current.node),
+                                                std::move(*bound));
+  }
+
+  // --- Select list: expand stars ------------------------------------------
+  struct EffectiveItem {
+    sql::ExprPtr owned;        // for synthesized column refs
+    const sql::Expr* expr;     // points into stmt or owned
+    std::string name;
+  };
+  std::vector<EffectiveItem> items;
+  for (const auto& item : stmt.select_list) {
+    if (item.expr->kind == sql::ExprKind::kStar) {
+      const std::string& qual = item.expr->qualifier;
+      bool found = false;
+      for (const Column& col : current.schema.columns()) {
+        if (!qual.empty() && !EqualsIgnoreCase(col.qualifier, qual)) continue;
+        EffectiveItem out;
+        out.owned = sql::Expr::MakeColumnRef(col.qualifier, col.name);
+        out.expr = out.owned.get();
+        out.name = col.name;
+        items.push_back(std::move(out));
+        found = true;
+      }
+      if (!found) {
+        return Status::BindError("no columns match " + item.expr->ToString());
+      }
+      continue;
+    }
+    EffectiveItem out;
+    out.expr = item.expr.get();
+    out.name = OutputName(item);
+    items.push_back(std::move(out));
+  }
+
+  // --- Aggregation decision -------------------------------------------------
+  bool has_aggregates = !stmt.group_by.empty();
+  for (const auto& item : items) {
+    if (ExprBinder::ContainsAggregate(*item.expr)) has_aggregates = true;
+  }
+  if (stmt.having != nullptr) has_aggregates = true;
+
+  ExprBinder binder(current.schema);
+  std::vector<sql::ExprPtr> owned_group_exprs;  // alias/ordinal-resolved
+  if (has_aggregates) {
+    std::vector<const sql::Expr*> group_asts;
+    for (const auto& g : stmt.group_by) {
+      const sql::Expr* resolved = g.get();
+      // Ordinal: GROUP BY 1.
+      if (g->kind == sql::ExprKind::kLiteral &&
+          g->literal.type() == DataType::kInt64) {
+        int64_t ordinal = g->literal.AsInt64();
+        if (ordinal < 1 || ordinal > static_cast<int64_t>(items.size())) {
+          return Status::BindError("GROUP BY ordinal out of range");
+        }
+        resolved = items[static_cast<size_t>(ordinal - 1)].expr;
+      } else if (g->kind == sql::ExprKind::kColumnRef &&
+                 g->qualifier.empty() && !BindsOn(*g, current.schema)) {
+        // Alias: GROUP BY url_count where url_count is a select alias.
+        for (const auto& item : items) {
+          if (EqualsIgnoreCase(item.name, g->column_name)) {
+            resolved = item.expr;
+            break;
+          }
+        }
+      }
+      group_asts.push_back(resolved);
+    }
+    RETURN_IF_ERROR(binder.EnterAggregateMode(group_asts));
+  }
+
+  // --- Bind projection and HAVING -------------------------------------------
+  std::vector<BoundExprPtr> projections;
+  std::vector<Column> output_columns;
+  for (const auto& item : items) {
+    ASSIGN_OR_RETURN(BoundExprPtr bound, binder.BindProjection(*item.expr));
+    output_columns.emplace_back(item.name, bound->type);
+    projections.push_back(std::move(bound));
+  }
+  BoundExprPtr having_bound;
+  if (stmt.having != nullptr) {
+    ASSIGN_OR_RETURN(having_bound, binder.BindProjection(*stmt.having));
+  }
+
+  // --- ORDER BY resolution ---------------------------------------------------
+  // Each key resolves to (a) an output ordinal, (b) an output column name or
+  // alias, (c) a select item with identical text, or (d) a hidden extra
+  // projection column bound in the same context as the select items.
+  struct ResolvedOrderKey {
+    size_t column = 0;  // into the (possibly extended) projection
+    bool ascending = true;
+  };
+  std::vector<ResolvedOrderKey> order_keys;
+  std::vector<BoundExprPtr> hidden;  // appended to projections
+  for (const auto& ob : stmt.order_by) {
+    ResolvedOrderKey key;
+    key.ascending = ob.ascending;
+    bool resolved = false;
+    if (ob.expr->kind == sql::ExprKind::kLiteral &&
+        ob.expr->literal.type() == DataType::kInt64) {
+      int64_t ordinal = ob.expr->literal.AsInt64();
+      if (ordinal < 1 || ordinal > static_cast<int64_t>(items.size())) {
+        return Status::BindError("ORDER BY ordinal out of range");
+      }
+      key.column = static_cast<size_t>(ordinal - 1);
+      resolved = true;
+    }
+    if (!resolved && ob.expr->kind == sql::ExprKind::kColumnRef &&
+        ob.expr->qualifier.empty()) {
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (EqualsIgnoreCase(items[i].name, ob.expr->column_name)) {
+          key.column = i;
+          resolved = true;
+          break;
+        }
+      }
+    }
+    if (!resolved) {
+      std::string text = ob.expr->ToString();
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].expr->ToString() == text) {
+          key.column = i;
+          resolved = true;
+          break;
+        }
+      }
+    }
+    if (!resolved) {
+      if (stmt.distinct) {
+        return Status::BindError(
+            "ORDER BY expression must appear in the select list when "
+            "DISTINCT is used");
+      }
+      ASSIGN_OR_RETURN(BoundExprPtr bound, binder.BindProjection(*ob.expr));
+      key.column = projections.size() + hidden.size();
+      hidden.push_back(std::move(bound));
+      resolved = true;
+    }
+    order_keys.push_back(key);
+  }
+
+  // --- Assemble the pipeline -------------------------------------------------
+  ExecNodePtr node = std::move(current.node);
+
+  if (has_aggregates) {
+    Schema agg_schema = binder.PostAggregateSchema();
+    node = std::make_unique<HashAggregateNode>(
+        std::move(agg_schema), std::move(node), binder.TakeGroupExprs(),
+        binder.TakeAggCalls());
+    if (having_bound != nullptr) {
+      node = std::make_unique<FilterNode>(std::move(node),
+                                          std::move(having_bound));
+    }
+  }
+
+  // Projection (visible + hidden sort columns).
+  std::vector<Column> projected_columns = output_columns;
+  for (const auto& h : hidden) {
+    projected_columns.emplace_back("$sort", h->type);
+  }
+  std::vector<BoundExprPtr> all_exprs = std::move(projections);
+  for (auto& h : hidden) all_exprs.push_back(std::move(h));
+  bool has_hidden = !hidden.empty();
+  node = std::make_unique<ProjectNode>(Schema(projected_columns),
+                                       std::move(node),
+                                       std::move(all_exprs));
+
+  if (stmt.distinct) {
+    node = std::make_unique<DistinctNode>(std::move(node));
+  }
+
+  if (!order_keys.empty()) {
+    std::vector<SortKey> keys;
+    for (const ResolvedOrderKey& k : order_keys) {
+      auto ref = std::make_unique<BoundExpr>(BoundExprKind::kColumn);
+      ref->column_index = k.column;
+      ref->type = projected_columns[k.column].type;
+      keys.push_back(SortKey{std::move(ref), k.ascending});
+    }
+    node = std::make_unique<SortNode>(std::move(node), std::move(keys));
+  }
+
+  if (stmt.limit.has_value() || stmt.offset.has_value()) {
+    node = std::make_unique<LimitNode>(std::move(node),
+                                       stmt.limit.value_or(-1),
+                                       stmt.offset.value_or(0));
+  }
+
+  if (has_hidden) {
+    // Strip the hidden sort columns with a final narrow projection.
+    std::vector<BoundExprPtr> strip;
+    for (size_t i = 0; i < output_columns.size(); ++i) {
+      auto ref = std::make_unique<BoundExpr>(BoundExprKind::kColumn);
+      ref->column_index = i;
+      ref->type = output_columns[i].type;
+      strip.push_back(std::move(ref));
+    }
+    node = std::make_unique<ProjectNode>(Schema(output_columns),
+                                         std::move(node), std::move(strip));
+  }
+
+  PlannedQuery out;
+  out.root = std::move(node);
+  out.output_schema = Schema(std::move(output_columns));
+  return out;
+}
+
+Result<PlannedQuery> Planner::PlanSelect(const sql::SelectStmt& stmt) const {
+  std::vector<StreamLeaf> leaves;
+  std::vector<std::string> tables;
+  ASSIGN_OR_RETURN(PlannedQuery base,
+                   PlanSelectInternal(stmt, &leaves, &tables));
+  if (leaves.size() > 1) {
+    return Status::NotImplemented(
+        "queries over more than one stream (stream-stream joins) are not "
+        "supported; join the stream with an active table instead");
+  }
+  base.stream_leaves = std::move(leaves);
+  base.referenced_tables = std::move(tables);
+  return base;
+}
+
+Result<PlannedQuery> Planner::PlanSelectInternal(
+    const sql::SelectStmt& stmt, std::vector<StreamLeaf>* out_leaves,
+    std::vector<std::string>* out_tables) const {
+  std::vector<StreamLeaf>& leaves = *out_leaves;
+  std::vector<std::string>& tables = *out_tables;
+  PlannedQuery base;
+  if (!stmt.union_all.empty()) {
+    // ORDER BY / LIMIT attach to the whole union, not the first branch:
+    // plan the first branch without them, stack the union, then sort and
+    // limit on top.
+    std::unique_ptr<sql::SelectStmt> first = stmt.CloneSelect();
+    first->union_all.clear();
+    first->order_by.clear();
+    first->limit.reset();
+    first->offset.reset();
+    ASSIGN_OR_RETURN(base, PlanSelectNoUnion(*first, &leaves, &tables));
+
+    std::vector<ExecNodePtr> children;
+    Schema schema = base.output_schema;
+    children.push_back(std::move(base.root));
+    for (const auto& branch : stmt.union_all) {
+      ASSIGN_OR_RETURN(PlannedQuery sub,
+                       PlanSelectNoUnion(*branch, &leaves, &tables));
+      if (sub.output_schema.num_columns() != schema.num_columns()) {
+        return Status::BindError(
+            "UNION ALL branches must have the same number of columns");
+      }
+      children.push_back(std::move(sub.root));
+    }
+    base.root = std::make_unique<UnionAllNode>(schema, std::move(children));
+    base.output_schema = schema;
+
+    // Union-level ORDER BY may reference output columns or ordinals only.
+    if (!stmt.order_by.empty()) {
+      std::vector<SortKey> keys;
+      for (const auto& ob : stmt.order_by) {
+        size_t column = 0;
+        bool resolved = false;
+        if (ob.expr->kind == sql::ExprKind::kLiteral &&
+            ob.expr->literal.type() == DataType::kInt64) {
+          int64_t ordinal = ob.expr->literal.AsInt64();
+          if (ordinal < 1 ||
+              ordinal > static_cast<int64_t>(schema.num_columns())) {
+            return Status::BindError("ORDER BY ordinal out of range");
+          }
+          column = static_cast<size_t>(ordinal - 1);
+          resolved = true;
+        } else if (ob.expr->kind == sql::ExprKind::kColumnRef &&
+                   ob.expr->qualifier.empty()) {
+          auto index = schema.IndexOf(ob.expr->column_name);
+          if (index.has_value()) {
+            column = *index;
+            resolved = true;
+          }
+        }
+        if (!resolved) {
+          return Status::BindError(
+              "ORDER BY over UNION ALL must reference an output column or "
+              "ordinal");
+        }
+        auto ref = std::make_unique<BoundExpr>(BoundExprKind::kColumn);
+        ref->column_index = column;
+        ref->type = schema.column(column).type;
+        keys.push_back(SortKey{std::move(ref), ob.ascending});
+      }
+      base.root =
+          std::make_unique<SortNode>(std::move(base.root), std::move(keys));
+    }
+    if (stmt.limit.has_value() || stmt.offset.has_value()) {
+      base.root = std::make_unique<LimitNode>(std::move(base.root),
+                                              stmt.limit.value_or(-1),
+                                              stmt.offset.value_or(0));
+    }
+  } else {
+    ASSIGN_OR_RETURN(base, PlanSelectNoUnion(stmt, &leaves, &tables));
+  }
+  return base;
+}
+
+}  // namespace streamrel::exec

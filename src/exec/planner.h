@@ -1,0 +1,107 @@
+#ifndef STREAMREL_EXEC_PLANNER_H_
+#define STREAMREL_EXEC_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "exec/operators.h"
+#include "sql/ast.h"
+
+namespace streamrel::exec {
+
+/// A stream reference discovered during planning. The continuous-query
+/// runtime feeds each closing window's rows through `buffer` (owned by the
+/// plan) and re-executes the plan.
+struct StreamLeaf {
+  std::string stream_name;
+  sql::WindowSpecAst window;
+  BufferScanNode* buffer = nullptr;  // not owned
+  Schema stream_schema;
+};
+
+/// The executable form of one SELECT statement.
+struct PlannedQuery {
+  ExecNodePtr root;
+  Schema output_schema;
+  /// Non-empty iff this is a continuous query. At most one stream leaf is
+  /// supported (stream-table joins yes, stream-stream joins no — matching
+  /// the paper's examples).
+  std::vector<StreamLeaf> stream_leaves;
+  /// Base tables the plan scans or index-probes (lowercased). Long-lived
+  /// plans (continuous queries) hold raw pointers into the catalog, so the
+  /// engine refuses to drop these tables while the CQ runs.
+  std::vector<std::string> referenced_tables;
+
+  bool is_continuous() const { return !stream_leaves.empty(); }
+};
+
+/// Translates bound SELECT ASTs into operator trees. Performs:
+///  - view expansion (macro substitution),
+///  - predicate pushdown into scans,
+///  - B+Tree index selection for equality/range predicates,
+///  - hash-join selection for equi-join conjuncts (nested-loop fallback),
+///  - two-phase aggregation binding (keys + mergeable aggregate states),
+///  - ORDER BY via visible or hidden sort columns, DISTINCT, LIMIT/OFFSET,
+///    UNION ALL.
+class Planner {
+ public:
+  explicit Planner(const catalog::Catalog* catalog) : catalog_(catalog) {}
+
+  Result<PlannedQuery> PlanSelect(const sql::SelectStmt& stmt) const;
+
+ private:
+  struct RelInput {
+    ExecNodePtr node;
+    Schema schema;  // node's schema with FROM-item qualifiers applied
+    /// Set while this input is still a bare full scan of one base table
+    /// (no pushed predicates, no wrapping): joins may then replace the
+    /// scan with index lookups.
+    const catalog::TableInfo* plain_base_table = nullptr;
+  };
+
+  /// Full select including UNION ALL branches and union-level ORDER BY /
+  /// LIMIT; used by PlanSelect and by subquery planning.
+  Result<PlannedQuery> PlanSelectInternal(const sql::SelectStmt& stmt,
+                                          std::vector<StreamLeaf>* leaves,
+                                          std::vector<std::string>* tables)
+      const;
+
+  Result<PlannedQuery> PlanSelectNoUnion(const sql::SelectStmt& stmt,
+                                         std::vector<StreamLeaf>* leaves,
+                                         std::vector<std::string>* tables)
+      const;
+
+  Result<RelInput> PlanTableRef(const sql::TableRef& ref,
+                                std::vector<StreamLeaf>* leaves,
+                                std::vector<std::string>* tables,
+                                int view_depth) const;
+  Result<RelInput> PlanBaseTable(const catalog::TableInfo& info,
+                                 const std::string& qualifier) const;
+
+  /// Applies single-relation conjuncts to `input` (index selection or scan
+  /// predicate/filter); consumed conjuncts are removed from `conjuncts`.
+  Result<RelInput> ApplyLocalPredicates(
+      RelInput input, const catalog::TableInfo* base_table,
+      std::vector<const sql::Expr*>* conjuncts) const;
+
+  /// Joins `left` and `right`, consuming applicable conjuncts as hash keys
+  /// or residuals.
+  Result<RelInput> JoinInputs(RelInput left, RelInput right,
+                              sql::JoinType join_type,
+                              const sql::Expr* on_condition,
+                              std::vector<const sql::Expr*>* conjuncts) const;
+
+  const catalog::Catalog* catalog_;
+};
+
+/// Splits an AND tree into conjuncts (appended to `out`).
+void SplitConjuncts(const sql::Expr& expr,
+                    std::vector<const sql::Expr*>* out);
+
+}  // namespace streamrel::exec
+
+#endif  // STREAMREL_EXEC_PLANNER_H_

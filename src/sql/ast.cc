@@ -1,0 +1,241 @@
+#include "sql/ast.h"
+
+#include "common/time.h"
+
+namespace streamrel::sql {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kLike:
+      return "LIKE";
+    case BinaryOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>(ExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeColumnRef(std::string qualifier, std::string name) {
+  auto e = std::make_unique<Expr>(ExprKind::kColumnRef);
+  e->qualifier = std::move(qualifier);
+  e->column_name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeStar(std::string qualifier) {
+  auto e = std::make_unique<Expr>(ExprKind::kStar);
+  e->qualifier = std::move(qualifier);
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>(ExprKind::kUnary);
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>(ExprKind::kBinary);
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::MakeFunctionCall(std::string name, std::vector<ExprPtr> args,
+                               bool distinct) {
+  auto e = std::make_unique<Expr>(ExprKind::kFunctionCall);
+  e->function_name = std::move(name);
+  e->children = std::move(args);
+  e->distinct = distinct;
+  return e;
+}
+
+ExprPtr Expr::MakeCast(ExprPtr operand, DataType type) {
+  auto e = std::make_unique<Expr>(ExprKind::kCast);
+  e->cast_type = type;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>(kind);
+  e->literal = literal;
+  e->qualifier = qualifier;
+  e->column_name = column_name;
+  e->unary_op = unary_op;
+  e->binary_op = binary_op;
+  e->function_name = function_name;
+  e->distinct = distinct;
+  e->cast_type = cast_type;
+  e->is_not = is_not;
+  e->case_has_else = case_has_else;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.type() == DataType::kString) {
+        return "'" + literal.ToString() + "'";
+      }
+      if (literal.type() == DataType::kInterval) {
+        return "interval '" + literal.ToString() + "'";
+      }
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column_name : qualifier + "." + column_name;
+    case ExprKind::kStar:
+      return qualifier.empty() ? "*" : qualifier + ".*";
+    case ExprKind::kUnary:
+      return (unary_op == UnaryOp::kNegate ? "-" : "NOT ") +
+             children[0]->ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " +
+             BinaryOpToString(binary_op) + " " + children[1]->ToString() + ")";
+    case ExprKind::kFunctionCall: {
+      std::string s = function_name + "(";
+      if (distinct) s += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " +
+             DataTypeToString(cast_type) + ")";
+    case ExprKind::kCase: {
+      std::string s = "CASE";
+      size_t pairs = (children.size() - (case_has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        s += " WHEN " + children[2 * i]->ToString() + " THEN " +
+             children[2 * i + 1]->ToString();
+      }
+      if (case_has_else) s += " ELSE " + children.back()->ToString();
+      return s + " END";
+    }
+    case ExprKind::kIn: {
+      std::string s =
+          children[0]->ToString() + (is_not ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) s += ", ";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kBetween:
+      return children[0]->ToString() + (is_not ? " NOT" : "") + " BETWEEN " +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case ExprKind::kIsNull:
+      return children[0]->ToString() + (is_not ? " IS NOT NULL" : " IS NULL");
+  }
+  return "?";
+}
+
+std::string WindowSpecAst::ToString() const {
+  if (is_slices) {
+    return "<SLICES " + std::to_string(slices_count) + " WINDOWS>";
+  }
+  if (unit == WindowUnit::kRows) {
+    return "<VISIBLE " + std::to_string(visible) + " ROWS ADVANCE " +
+           std::to_string(advance) + " ROWS>";
+  }
+  return "<VISIBLE '" + FormatIntervalMicros(visible) + "' ADVANCE '" +
+         FormatIntervalMicros(advance) + "'>";
+}
+
+std::string TableRef::ToString() const {
+  std::string s;
+  switch (kind) {
+    case TableRefKind::kBase:
+      s = name;
+      if (window.has_value()) s += " " + window->ToString();
+      break;
+    case TableRefKind::kSubquery:
+      s = "(subquery)";
+      break;
+    case TableRefKind::kJoin:
+      s = left->ToString() +
+          (join_type == JoinType::kLeft ? " LEFT JOIN " : " JOIN ") +
+          right->ToString();
+      if (join_condition) s += " ON " + join_condition->ToString();
+      break;
+  }
+  if (!alias.empty()) s += " AS " + alias;
+  return s;
+}
+
+namespace {
+
+ExprPtr CloneOrNull(const ExprPtr& e) { return e ? e->Clone() : nullptr; }
+
+TableRefPtr CloneTableRef(const TableRef& ref) {
+  auto out = std::make_unique<TableRef>(ref.kind);
+  out->name = ref.name;
+  out->window = ref.window;
+  out->alias = ref.alias;
+  out->join_type = ref.join_type;
+  if (ref.subquery) out->subquery = ref.subquery->CloneSelect();
+  if (ref.left) out->left = CloneTableRef(*ref.left);
+  if (ref.right) out->right = CloneTableRef(*ref.right);
+  out->join_condition = CloneOrNull(ref.join_condition);
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<SelectStmt> SelectStmt::CloneSelect() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = distinct;
+  for (const auto& item : select_list) {
+    out->select_list.push_back({item.expr->Clone(), item.alias});
+  }
+  for (const auto& ref : from) out->from.push_back(CloneTableRef(*ref));
+  out->where = CloneOrNull(where);
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  out->having = CloneOrNull(having);
+  for (const auto& o : order_by) {
+    out->order_by.push_back({o.expr->Clone(), o.ascending});
+  }
+  out->limit = limit;
+  out->offset = offset;
+  for (const auto& u : union_all) out->union_all.push_back(u->CloneSelect());
+  return out;
+}
+
+}  // namespace streamrel::sql

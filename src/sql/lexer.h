@@ -1,0 +1,38 @@
+#ifndef STREAMREL_SQL_LEXER_H_
+#define STREAMREL_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streamrel::sql {
+
+enum class TokenType {
+  kIdentifier,    // foo, "Foo"
+  kString,        // 'abc'
+  kInteger,       // 42
+  kFloat,         // 4.2
+  kOperator,      // ( ) , . ; + - * / % = <> != < > <= >= :: ||
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier text (original case) / literal payload
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset in the SQL text, for error messages
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOperator(const char* op) const;
+};
+
+/// Tokenizes SQL text. Identifiers keep their original case (keyword checks
+/// are case-insensitive). '--' comments and /* */ comments are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace streamrel::sql
+
+#endif  // STREAMREL_SQL_LEXER_H_

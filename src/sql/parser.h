@@ -1,0 +1,28 @@
+#ifndef STREAMREL_SQL_PARSER_H_
+#define STREAMREL_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace streamrel::sql {
+
+/// Parses one or more ';'-separated SQL statements.
+Result<std::vector<StatementPtr>> ParseSql(const std::string& sql);
+
+/// Parses exactly one statement; errors if there is more than one.
+Result<StatementPtr> ParseSingleStatement(const std::string& sql);
+
+/// Parses a standalone scalar expression (used in tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+/// Maps a SQL type name ("varchar", "bigint", ...) to a DataType.
+Result<DataType> ParseTypeName(const std::string& name);
+
+}  // namespace streamrel::sql
+
+#endif  // STREAMREL_SQL_PARSER_H_

@@ -1,0 +1,132 @@
+#include "storage/heap_table.h"
+
+namespace streamrel::storage {
+
+HeapTable::HeapTable(Schema schema, std::shared_ptr<SimulatedDisk> disk,
+                     size_t page_size)
+    : schema_(std::move(schema)),
+      page_size_(page_size),
+      disk_(std::move(disk)) {}
+
+Result<RowId> HeapTable::Insert(const Row& row, TxnId xmin) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RowLocation loc{kTailPage, static_cast<uint32_t>(tail_.size())};
+  SerializeRow(row, &tail_);
+  locations_.push_back(loc);
+  meta_.push_back(RowMeta{xmin, kInvalidTxn});
+  if (tail_.size() >= page_size_) {
+    RETURN_IF_ERROR(FlushTailLocked());
+  }
+  return static_cast<RowId>(locations_.size() - 1);
+}
+
+Status HeapTable::FlushTailLocked() {
+  if (tail_.empty()) return Status::OK();
+  PageId page = disk_->AllocatePage();
+  flushed_bytes_ += static_cast<int64_t>(tail_.size());
+  RETURN_IF_ERROR(disk_->WritePage(page, std::move(tail_)));
+  tail_.clear();
+  uint32_t page_index = static_cast<uint32_t>(pages_.size());
+  pages_.push_back(page);
+  for (auto it = locations_.rbegin();
+       it != locations_.rend() && it->page_index == kTailPage; ++it) {
+    it->page_index = page_index;
+  }
+  return Status::OK();
+}
+
+Status HeapTable::Delete(RowId row_id, TxnId xmax) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (row_id >= meta_.size()) {
+    return Status::InvalidArgument("delete of unknown row id");
+  }
+  if (meta_[row_id].xmax != kInvalidTxn) {
+    return Status::Aborted("row already deleted");
+  }
+  meta_[row_id].xmax = xmax;
+  return Status::OK();
+}
+
+Result<Row> HeapTable::ReadRowAtLocked(const RowLocation& loc) const {
+  size_t offset = loc.offset;
+  if (loc.page_index == kTailPage) {
+    return DeserializeRow(tail_, &offset);
+  }
+  ASSIGN_OR_RETURN(std::string page, disk_->ReadPage(pages_[loc.page_index]));
+  return DeserializeRow(page, &offset);
+}
+
+Result<Row> HeapTable::GetRow(RowId row_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (row_id >= locations_.size()) {
+    return Status::InvalidArgument("read of unknown row id");
+  }
+  return ReadRowAtLocked(locations_[row_id]);
+}
+
+Result<HeapTable::RowMeta> HeapTable::GetRowMeta(RowId row_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (row_id >= meta_.size()) {
+    return Status::InvalidArgument("meta of unknown row id");
+  }
+  return meta_[row_id];
+}
+
+Status HeapTable::Scan(
+    const TransactionManager& txns, const Snapshot& snap, TxnId reader,
+    const std::function<bool(RowId, const Row&)>& callback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Sequential page-at-a-time scan: one physical read per page regardless of
+  // how many rows it holds.
+  std::string current_page;
+  uint32_t current_page_index = kTailPage - 1;  // sentinel: nothing loaded
+  for (RowId id = 0; id < locations_.size(); ++id) {
+    const RowMeta& m = meta_[id];
+    if (!txns.IsVisible(m.xmin, m.xmax, snap, reader)) continue;
+    const RowLocation& loc = locations_[id];
+    const std::string* source;
+    if (loc.page_index == kTailPage) {
+      source = &tail_;
+    } else {
+      if (loc.page_index != current_page_index) {
+        ASSIGN_OR_RETURN(current_page, disk_->ReadPage(pages_[loc.page_index]));
+        current_page_index = loc.page_index;
+      }
+      source = &current_page;
+    }
+    size_t offset = loc.offset;
+    ASSIGN_OR_RETURN(Row row, DeserializeRow(*source, &offset));
+    if (!callback(id, row)) break;
+  }
+  return Status::OK();
+}
+
+RowId HeapTable::row_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<RowId>(locations_.size());
+}
+
+int64_t HeapTable::byte_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushed_bytes_ + static_cast<int64_t>(tail_.size());
+}
+
+Status HeapTable::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PageId page : pages_) {
+    RETURN_IF_ERROR(disk_->FreePage(page));
+  }
+  pages_.clear();
+  tail_.clear();
+  locations_.clear();
+  meta_.clear();
+  flushed_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace streamrel::storage

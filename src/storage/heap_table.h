@@ -1,0 +1,95 @@
+#ifndef STREAMREL_STORAGE_HEAP_TABLE_H_
+#define STREAMREL_STORAGE_HEAP_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/disk.h"
+#include "storage/transaction.h"
+
+namespace streamrel::storage {
+
+using RowId = uint64_t;
+
+/// MVCC heap storage for one table. Row payloads live in pages on the
+/// SimulatedDisk (so full scans pay real deserialization work and simulated
+/// I/O), while the per-row MVCC metadata (xmin/xmax) stays in memory for
+/// cheap visibility checks and deletes.
+///
+/// Rows are append-only within a page; deletes set xmax (tombstone). This
+/// matches the paper's additive workloads and keeps REPLACE channels and
+/// MV-style refreshes simple.
+///
+/// Thread-safe (one mutex; the engine is effectively single-writer).
+class HeapTable {
+ public:
+  /// `page_size` is the target serialized-bytes-per-page before the tail
+  /// buffer is flushed to the disk.
+  HeapTable(Schema schema, std::shared_ptr<SimulatedDisk> disk,
+            size_t page_size = 64 * 1024);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends `row` stamped with creating transaction `xmin`.
+  Result<RowId> Insert(const Row& row, TxnId xmin);
+
+  /// Marks `row_id` deleted by `xmax`. Errors if already deleted.
+  Status Delete(RowId row_id, TxnId xmax);
+
+  /// Reads one row by id (pays page-read cost unless cached); visibility is
+  /// NOT applied — callers pair this with GetRowMeta.
+  Result<Row> GetRow(RowId row_id) const;
+
+  struct RowMeta {
+    TxnId xmin = kInvalidTxn;
+    TxnId xmax = kInvalidTxn;
+  };
+  Result<RowMeta> GetRowMeta(RowId row_id) const;
+
+  /// Scans every version visible under (`snap`, `reader`), invoking
+  /// `callback(row_id, row)`; a false return stops the scan early.
+  Status Scan(const TransactionManager& txns, const Snapshot& snap,
+              TxnId reader,
+              const std::function<bool(RowId, const Row&)>& callback) const;
+
+  /// Number of row versions ever inserted (including deleted ones).
+  RowId row_count() const;
+
+  /// Serialized payload bytes across all pages plus the tail buffer.
+  int64_t byte_size() const;
+
+  /// Drops all rows and pages.
+  Status Truncate();
+
+ private:
+  struct RowLocation {
+    uint32_t page_index;  // index into pages_, or kTailPage for the buffer
+    uint32_t offset;
+  };
+  static constexpr uint32_t kTailPage = 0xffffffff;
+
+  // Flushes the tail buffer as a new page. Caller holds mu_.
+  Status FlushTailLocked();
+  Result<Row> ReadRowAtLocked(const RowLocation& loc) const;
+
+  const Schema schema_;
+  const size_t page_size_;
+  std::shared_ptr<SimulatedDisk> disk_;
+
+  mutable std::mutex mu_;
+  std::vector<PageId> pages_;
+  std::string tail_;  // serialized rows not yet flushed to a page
+  std::vector<RowLocation> locations_;
+  std::vector<RowMeta> meta_;
+  int64_t flushed_bytes_ = 0;
+};
+
+}  // namespace streamrel::storage
+
+#endif  // STREAMREL_STORAGE_HEAP_TABLE_H_

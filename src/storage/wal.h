@@ -1,0 +1,80 @@
+#ifndef STREAMREL_STORAGE_WAL_H_
+#define STREAMREL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace streamrel::storage {
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kInsert = 4,           // (table, row)
+  kDelete = 5,           // (table, row_id)
+  kChannelProgress = 6,  // (channel, window-close watermark micros)
+  kCheckpoint = 7,       // opaque operator-state blob (checkpoint recovery)
+  kVacuum = 8,           // (table, compaction commit time) — replayed as a
+                         // barrier so post-vacuum RowIds stay stable
+};
+
+struct WalRecord {
+  WalRecordType type;
+  uint64_t txn_id = 0;
+  std::string object_name;  // table or channel name
+  Row row;                  // kInsert
+  int64_t int_payload = 0;  // kDelete row id / kChannelProgress watermark /
+                            // kCommit commit-time
+  std::string blob;         // kCheckpoint state
+};
+
+/// Append-only write-ahead log. Records are buffered and charged to the
+/// simulated disk as sequential writes on Sync(); a group-commit interval
+/// is modeled by syncing once per Append when `sync_every_append` is set
+/// (the expensive store-first configuration) or explicitly by the caller.
+///
+/// Thread-safe.
+class WriteAheadLog {
+ public:
+  WriteAheadLog(std::shared_ptr<SimulatedDisk> disk,
+                bool sync_every_append = false);
+
+  Status Append(const WalRecord& record);
+
+  /// Charges any unsynced bytes to the disk model (one positioning cost +
+  /// bandwidth), i.e. an fsync.
+  void Sync();
+
+  /// Replays all records in append order.
+  Status Replay(
+      const std::function<Status(const WalRecord&)>& callback) const;
+
+  /// Truncates the log (after a full checkpoint).
+  void Reset();
+
+  int64_t record_count() const;
+  int64_t byte_size() const;
+
+ private:
+  static void Encode(const WalRecord& record, std::string* out);
+  static Result<WalRecord> Decode(const std::string& data, size_t* offset);
+
+  std::shared_ptr<SimulatedDisk> disk_;
+  const bool sync_every_append_;
+  mutable std::mutex mu_;
+  std::string log_;          // the durable image
+  int64_t synced_bytes_ = 0;  // prefix of log_ already charged
+  int64_t record_count_ = 0;
+};
+
+}  // namespace streamrel::storage
+
+#endif  // STREAMREL_STORAGE_WAL_H_

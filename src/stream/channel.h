@@ -1,0 +1,87 @@
+#ifndef STREAMREL_STREAM_CHANNEL_H_
+#define STREAMREL_STREAM_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/transaction.h"
+#include "storage/wal.h"
+
+namespace streamrel::stream {
+
+/// Persists a stream into an *Active Table* (Example 4 in the paper):
+/// each window's results are stored transactionally, committing with
+/// commit_time = window close, so the table participates in
+/// window-consistent MVCC snapshots (a CQ joining the table as of its own
+/// window close sees exactly the fully-persisted earlier windows).
+///
+/// APPEND adds the batch's rows; REPLACE deletes the previously visible
+/// rows first, so the table always holds the latest window's results.
+///
+/// The channel's progress watermark (the last persisted window close) is
+/// WAL-logged with each batch; recovery reads it back so a restarted
+/// runtime neither loses nor duplicates windows.
+class Channel {
+ public:
+  Channel(catalog::ChannelInfo info, catalog::TableInfo* table,
+          storage::TransactionManager* txns, storage::WriteAheadLog* wal);
+
+  const catalog::ChannelInfo& info() const { return info_; }
+
+  /// Persists one window's batch. Batches with close <= watermark are
+  /// skipped (recovery idempotence: a window is persisted exactly once).
+  Status OnBatch(int64_t close, const std::vector<Row>& rows);
+
+  /// Persists raw-stream rows at watermark `at`. Unlike window batches,
+  /// several row groups may legitimately share a watermark (equal CQTIME
+  /// values), so only `at < watermark` is skipped.
+  Status OnRawRows(int64_t at, const std::vector<Row>& rows);
+
+  int64_t watermark() const { return watermark_; }
+  void SetWatermark(int64_t watermark) { watermark_ = watermark; }
+
+  int64_t batches_persisted() const { return batches_persisted_; }
+  int64_t rows_persisted() const { return rows_persisted_; }
+
+ private:
+  /// Inserts `row` (cast to the table's column types) and maintains
+  /// indexes; WAL-logs the insert.
+  Status InsertRow(const Row& row, storage::TxnId txn);
+
+  catalog::ChannelInfo info_;
+  catalog::TableInfo* table_;
+  storage::TransactionManager* txns_;
+  storage::WriteAheadLog* wal_;
+  int64_t watermark_ = INT64_MIN;
+  int64_t batches_persisted_ = 0;
+  int64_t rows_persisted_ = 0;
+};
+
+/// Shared helper: inserts a row into a table with type coercion, index
+/// maintenance, and WAL logging. Used by channels and by SQL INSERT.
+Status InsertIntoTable(catalog::TableInfo* table, const Row& row,
+                       storage::TxnId txn, storage::WriteAheadLog* wal);
+
+/// Shared helper: MVCC-deletes a row and removes its index entries.
+Status DeleteFromTable(catalog::TableInfo* table, storage::RowId row_id,
+                       const Row& row, storage::TxnId txn,
+                       storage::WriteAheadLog* wal);
+
+/// Compacts `table`: row versions invisible to the current snapshot are
+/// dropped, survivors are re-written densely (in ascending old-RowId order,
+/// so replaying the logged kVacuum barrier reproduces identical RowIds),
+/// and indexes are rebuilt. Time-travel snapshots taken before the vacuum
+/// no longer see this table's history. `commit_time` stamps the
+/// re-inserted versions. Returns the number of dead versions reclaimed.
+Result<int64_t> VacuumTable(catalog::TableInfo* table,
+                            storage::TransactionManager* txns,
+                            storage::WriteAheadLog* wal,
+                            int64_t commit_time);
+
+}  // namespace streamrel::stream
+
+#endif  // STREAMREL_STREAM_CHANNEL_H_

@@ -1,0 +1,371 @@
+#include "stream/continuous_query.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+#include "exec/binder.h"
+#include "exec/operators.h"
+
+namespace streamrel::stream {
+
+// --- SliceAggregatorRegistry -------------------------------------------------
+
+Result<SliceAggregatorRegistry::Registration> SliceAggregatorRegistry::Attach(
+    const std::string& stream_name, const std::string& signature,
+    int64_t slice_width, exec::BoundExprPtr filter,
+    std::vector<exec::BoundExprPtr> group_exprs,
+    std::vector<exec::AggregateCall> calls) {
+  int& version = versions_[signature];
+  for (int v = 0; v <= version; ++v) {
+    std::string key = signature + "#" + std::to_string(v);
+    auto it = aggregators_.find(key);
+    if (it == aggregators_.end()) continue;
+    if (!it->second.aggregator->CanAccept(calls)) continue;
+    ASSIGN_OR_RETURN(std::vector<size_t> mapping,
+                     it->second.aggregator->RegisterCalls(std::move(calls)));
+    Registration reg;
+    reg.aggregator = it->second.aggregator.get();
+    reg.slot_mapping = std::move(mapping);
+    return reg;
+  }
+  // No compatible pipeline: open a fresh version. A CQ whose aggregates are
+  // missing from a live pipeline cannot share it (its history cannot be
+  // backfilled), so it starts a new one that future CQs can join.
+  ++version;
+  std::string key = signature + "#" + std::to_string(version);
+  auto aggregator = std::make_unique<SliceAggregator>(
+      slice_width, std::move(filter), std::move(group_exprs));
+  ASSIGN_OR_RETURN(std::vector<size_t> mapping,
+                   aggregator->RegisterCalls(std::move(calls)));
+  Registration reg;
+  reg.aggregator = aggregator.get();
+  reg.slot_mapping = std::move(mapping);
+  reg.newly_created = true;
+  by_stream_[ToLower(stream_name)].push_back(aggregator.get());
+  aggregators_[key] = Entry{ToLower(stream_name), std::move(aggregator)};
+  return reg;
+}
+
+const std::vector<SliceAggregator*>& SliceAggregatorRegistry::ForStream(
+    const std::string& stream_name) {
+  return by_stream_[ToLower(stream_name)];
+}
+
+// --- ContinuousQuery build ---------------------------------------------------
+
+namespace {
+
+/// Resolves GROUP BY ordinals and select-list aliases, mirroring the
+/// planner's rules.
+const sql::Expr* ResolveGroupItem(
+    const sql::Expr* g, const std::vector<sql::SelectItem>& select_list,
+    const Schema& input) {
+  if (g->kind == sql::ExprKind::kLiteral &&
+      g->literal.type() == DataType::kInt64) {
+    int64_t ordinal = g->literal.AsInt64();
+    if (ordinal >= 1 && ordinal <= static_cast<int64_t>(select_list.size())) {
+      return select_list[static_cast<size_t>(ordinal - 1)].expr.get();
+    }
+    return g;
+  }
+  if (g->kind == sql::ExprKind::kColumnRef && g->qualifier.empty() &&
+      !input.IndexOf(g->column_name).has_value()) {
+    for (const auto& item : select_list) {
+      if (EqualsIgnoreCase(item.alias, g->column_name)) {
+        return item.expr.get();
+      }
+    }
+  }
+  return g;
+}
+
+bool ContainsCqClose(const sql::Expr& e) {
+  if (e.kind == sql::ExprKind::kFunctionCall && e.function_name == "cq_close") {
+    return true;
+  }
+  for (const auto& c : e.children) {
+    if (ContainsCqClose(*c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Build(
+    std::string name, const sql::SelectStmt& stmt,
+    const catalog::Catalog* catalog, const storage::TransactionManager* txns,
+    SliceAggregatorRegistry* registry, bool allow_shared) {
+  // ---- Try the shared slice-aggregation strategy. --------------------------
+  auto try_shared =
+      [&]() -> Result<std::unique_ptr<ContinuousQuery>> {
+    if (!allow_shared || registry == nullptr) {
+      return Status::Aborted("shared path disabled");
+    }
+    if (!stmt.union_all.empty() || stmt.distinct || stmt.from.size() != 1 ||
+        stmt.from[0]->kind != sql::TableRefKind::kBase ||
+        !stmt.from[0]->window.has_value()) {
+      return Status::Aborted("query shape not shareable");
+    }
+    const catalog::StreamInfo* stream =
+        catalog->GetStream(stmt.from[0]->name);
+    if (stream == nullptr || stream->is_derived) {
+      return Status::Aborted("not a raw stream");
+    }
+    ASSIGN_OR_RETURN(WindowSpec window,
+                     WindowSpec::FromAst(*stmt.from[0]->window));
+    if (window.kind != WindowSpec::Kind::kTime) {
+      return Status::Aborted("only time windows share slices");
+    }
+    bool any_aggregate = !stmt.group_by.empty() || stmt.having != nullptr;
+    for (const auto& item : stmt.select_list) {
+      if (item.expr->kind == sql::ExprKind::kStar) {
+        return Status::Aborted("star select is not an aggregate query");
+      }
+      if (exec::ExprBinder::ContainsAggregate(*item.expr)) {
+        any_aggregate = true;
+      }
+    }
+    if (!any_aggregate) return Status::Aborted("no aggregates");
+
+    std::string qualifier =
+        stmt.from[0]->alias.empty() ? stmt.from[0]->name : stmt.from[0]->alias;
+    Schema input = stream->schema.WithQualifier(qualifier);
+
+    // Filter.
+    exec::BoundExprPtr filter;
+    std::string filter_text;
+    if (stmt.where != nullptr) {
+      if (ContainsCqClose(*stmt.where)) {
+        return Status::Aborted("cq_close in WHERE needs the generic path");
+      }
+      exec::ExprBinder where_binder(input);
+      ASSIGN_OR_RETURN(filter, where_binder.BindScalar(*stmt.where));
+      filter_text = stmt.where->ToString();
+    }
+
+    // Group-by resolution and binding.
+    std::vector<const sql::Expr*> group_asts;
+    std::string group_text;
+    for (const auto& g : stmt.group_by) {
+      const sql::Expr* resolved =
+          ResolveGroupItem(g.get(), stmt.select_list, input);
+      if (ContainsCqClose(*resolved)) {
+        return Status::Aborted("cq_close in GROUP BY needs the generic path");
+      }
+      group_asts.push_back(resolved);
+      group_text += resolved->ToString();
+      group_text += "|";
+    }
+    exec::ExprBinder binder(input);
+    RETURN_IF_ERROR(binder.EnterAggregateMode(group_asts));
+
+    // Select list and HAVING.
+    std::vector<exec::BoundExprPtr> projections;
+    std::vector<Column> output_columns;
+    for (const auto& item : stmt.select_list) {
+      ASSIGN_OR_RETURN(exec::BoundExprPtr bound,
+                       binder.BindProjection(*item.expr));
+      std::string col_name = !item.alias.empty()
+                                 ? item.alias
+                                 : (item.expr->kind ==
+                                            sql::ExprKind::kColumnRef
+                                        ? item.expr->column_name
+                                        : item.expr->ToString());
+      output_columns.emplace_back(std::move(col_name), bound->type);
+      projections.push_back(std::move(bound));
+    }
+    exec::BoundExprPtr having;
+    if (stmt.having != nullptr) {
+      ASSIGN_OR_RETURN(having, binder.BindProjection(*stmt.having));
+    }
+
+    // ORDER BY keys evaluated over the post-aggregation row.
+    std::vector<SharedOrderKey> order_keys;
+    for (const auto& ob : stmt.order_by) {
+      const sql::Expr* target = ob.expr.get();
+      if (target->kind == sql::ExprKind::kLiteral &&
+          target->literal.type() == DataType::kInt64) {
+        int64_t ordinal = target->literal.AsInt64();
+        if (ordinal < 1 ||
+            ordinal > static_cast<int64_t>(stmt.select_list.size())) {
+          return Status::BindError("ORDER BY ordinal out of range");
+        }
+        target = stmt.select_list[static_cast<size_t>(ordinal - 1)].expr.get();
+      } else if (target->kind == sql::ExprKind::kColumnRef &&
+                 target->qualifier.empty()) {
+        for (const auto& item : stmt.select_list) {
+          if (EqualsIgnoreCase(item.alias, target->column_name)) {
+            target = item.expr.get();
+            break;
+          }
+        }
+      }
+      ASSIGN_OR_RETURN(exec::BoundExprPtr bound,
+                       binder.BindProjection(*target));
+      order_keys.push_back(SharedOrderKey{std::move(bound), ob.ascending});
+    }
+
+    size_t group_count = binder.group_exprs().size();
+    std::string signature = ToLower(stream->name) + "|" +
+                            std::to_string(window.SliceWidthMicros()) + "|" +
+                            filter_text + "|" + group_text;
+    ASSIGN_OR_RETURN(
+        SliceAggregatorRegistry::Registration reg,
+        registry->Attach(stream->name, signature, window.SliceWidthMicros(),
+                         std::move(filter), binder.TakeGroupExprs(),
+                         binder.TakeAggCalls()));
+    reg.aggregator->NoteWindowVisible(window.visible);
+
+    auto cq = std::unique_ptr<ContinuousQuery>(new ContinuousQuery());
+    cq->name_ = name;
+    cq->stream_name_ = stream->name;
+    cq->window_ = window;
+    cq->output_schema_ = Schema(std::move(output_columns));
+    cq->txns_ = txns;
+    cq->shared_agg_ = reg.aggregator;
+    cq->slot_mapping_ = std::move(reg.slot_mapping);
+    cq->group_count_ = group_count;
+    cq->projections_ = std::move(projections);
+    cq->having_ = std::move(having);
+    cq->order_keys_ = std::move(order_keys);
+    cq->limit_ = stmt.limit.value_or(-1);
+    cq->offset_ = stmt.offset.value_or(0);
+    return cq;
+  };
+
+  auto shared = try_shared();
+  if (shared.ok()) return shared;
+  if (shared.status().code() != StatusCode::kAborted) {
+    // Real bind errors (not shape mismatches) surface to the user; the
+    // generic planner would report them too, so let it decide.
+  }
+
+  // ---- Generic strategy: full plan re-executed per window. -----------------
+  exec::Planner planner(catalog);
+  ASSIGN_OR_RETURN(exec::PlannedQuery plan, planner.PlanSelect(stmt));
+  if (!plan.is_continuous()) {
+    return Status::InvalidArgument(
+        "statement has no stream reference; it is a snapshot query, not a "
+        "continuous query");
+  }
+  ASSIGN_OR_RETURN(WindowSpec window,
+                   WindowSpec::FromAst(plan.stream_leaves[0].window));
+  auto cq = std::unique_ptr<ContinuousQuery>(new ContinuousQuery());
+  cq->name_ = std::move(name);
+  cq->stream_name_ = plan.stream_leaves[0].stream_name;
+  cq->window_ = window;
+  cq->output_schema_ = plan.output_schema;
+  cq->txns_ = txns;
+  cq->plan_ = std::make_unique<exec::PlannedQuery>(std::move(plan));
+  return cq;
+}
+
+// --- Execution ---------------------------------------------------------------
+
+Status ContinuousQuery::OnWindowClose(const WindowBatch& batch) {
+  ++windows_evaluated_;
+  auto start = std::chrono::steady_clock::now();
+  std::vector<Row> out;
+  if (shared_agg_ != nullptr) {
+    RETURN_IF_ERROR(EvaluateShared(batch.close_micros, &out));
+  } else {
+    RETURN_IF_ERROR(EvaluateGeneric(batch, &out));
+  }
+  eval_micros_total_ +=
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (batch.close_micros > emit_watermark_) {
+    rows_emitted_ += static_cast<int64_t>(out.size());
+    RETURN_IF_ERROR(Deliver(batch.close_micros, out));
+  }
+  return Status::OK();
+}
+
+Status ContinuousQuery::EvaluateGeneric(const WindowBatch& batch,
+                                        std::vector<Row>* out) {
+  exec::StreamLeaf& leaf = plan_->stream_leaves[0];
+  leaf.buffer->SetBatch(std::make_shared<std::vector<Row>>(batch.rows));
+  exec::ExecContext ctx;
+  ctx.txns = txns_;
+  // Window consistency (Section 4): table state is read as of the window
+  // close, so every CQ evaluation sees a snapshot aligned with a window
+  // boundary.
+  ctx.snapshot = txns_->SnapshotAsOf(batch.close_micros);
+  ctx.eval.has_window = true;
+  ctx.eval.window_close_micros = batch.close_micros;
+  ctx.eval.now_micros = batch.close_micros;
+  ASSIGN_OR_RETURN(*out, exec::CollectRows(plan_->root.get(), &ctx));
+  leaf.buffer->SetBatch(nullptr);
+  return Status::OK();
+}
+
+Status ContinuousQuery::EvaluateShared(int64_t close, std::vector<Row>* out) {
+  // Ask the shared pipeline for exactly this CQ's aggregate slots, so we
+  // do not pay to merge/finalize states that other members registered.
+  ASSIGN_OR_RETURN(
+      std::vector<Row> local_rows,
+      shared_agg_->ComputeWindow(close, window_.visible, &slot_mapping_));
+  exec::EvalContext ctx;
+  ctx.has_window = true;
+  ctx.window_close_micros = close;
+  ctx.now_micros = close;
+
+  struct Keyed {
+    Row output;
+    std::vector<Value> sort_key;
+  };
+  std::vector<Keyed> kept;
+  kept.reserve(local_rows.size());
+  for (Row& local : local_rows) {
+    // Already laid out as [group keys..., this CQ's aggs...].
+    if (having_ != nullptr) {
+      ASSIGN_OR_RETURN(bool keep, exec::EvalPredicate(*having_, local, ctx));
+      if (!keep) continue;
+    }
+    Keyed k;
+    k.output.reserve(projections_.size());
+    for (const auto& p : projections_) {
+      ASSIGN_OR_RETURN(Value v, p->Eval(local, ctx));
+      k.output.push_back(std::move(v));
+    }
+    k.sort_key.reserve(order_keys_.size());
+    for (const auto& ok : order_keys_) {
+      ASSIGN_OR_RETURN(Value v, ok.expr->Eval(local, ctx));
+      k.sort_key.push_back(std::move(v));
+    }
+    kept.push_back(std::move(k));
+  }
+  if (!order_keys_.empty()) {
+    std::stable_sort(kept.begin(), kept.end(),
+                     [this](const Keyed& a, const Keyed& b) {
+                       for (size_t i = 0; i < order_keys_.size(); ++i) {
+                         int c = a.sort_key[i].Compare(b.sort_key[i]);
+                         if (c != 0) {
+                           return order_keys_[i].ascending ? c < 0 : c > 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+  size_t begin = std::min(static_cast<size_t>(std::max<int64_t>(offset_, 0)),
+                          kept.size());
+  size_t end = limit_ >= 0 ? std::min(begin + static_cast<size_t>(limit_),
+                                      kept.size())
+                           : kept.size();
+  out->reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    out->push_back(std::move(kept[i].output));
+  }
+  return Status::OK();
+}
+
+Status ContinuousQuery::Deliver(int64_t close, const std::vector<Row>& rows) {
+  for (const CqCallback& cb : callbacks_) {
+    RETURN_IF_ERROR(cb(close, rows));
+  }
+  return Status::OK();
+}
+
+}  // namespace streamrel::stream

@@ -1,0 +1,159 @@
+#ifndef STREAMREL_STREAM_CONTINUOUS_QUERY_H_
+#define STREAMREL_STREAM_CONTINUOUS_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "exec/planner.h"
+#include "storage/transaction.h"
+#include "stream/shared_aggregation.h"
+#include "stream/window.h"
+#include "stream/window_operator.h"
+
+namespace streamrel::stream {
+
+/// Delivery of one window's results: (window close time, output relation).
+using CqCallback =
+    std::function<Status(int64_t close, const std::vector<Row>& rows)>;
+
+/// A registry of shared slice-aggregation pipelines, keyed by
+/// (stream, slice width, filter text, group-by text). CQs with matching
+/// signatures attach to the same SliceAggregator; a CQ that would need to
+/// add aggregates to a pipeline that has already absorbed rows gets a fresh
+/// one (no backfill), tracked under a versioned key.
+class SliceAggregatorRegistry {
+ public:
+  struct Registration {
+    SliceAggregator* aggregator = nullptr;  // owned by the registry
+    std::vector<size_t> slot_mapping;       // CQ call -> union slot
+    bool newly_created = false;
+  };
+
+  /// Finds or creates the pipeline for `signature`, registering `calls`.
+  Result<Registration> Attach(const std::string& stream_name,
+                              const std::string& signature,
+                              int64_t slice_width,
+                              exec::BoundExprPtr filter,
+                              std::vector<exec::BoundExprPtr> group_exprs,
+                              std::vector<exec::AggregateCall> calls);
+
+  /// All pipelines attached to `stream_name` (ingest fan-out).
+  const std::vector<SliceAggregator*>& ForStream(
+      const std::string& stream_name);
+
+  size_t pipeline_count() const { return aggregators_.size(); }
+
+ private:
+  struct Entry {
+    std::string stream;
+    std::unique_ptr<SliceAggregator> aggregator;
+  };
+  std::map<std::string, Entry> aggregators_;  // versioned signature -> entry
+  std::map<std::string, int> versions_;
+  std::map<std::string, std::vector<SliceAggregator*>> by_stream_;
+};
+
+/// One running continuous query (the paper's CQ): a SELECT over a windowed
+/// stream (optionally joined with tables) that emits a relation at every
+/// window close and runs until dropped.
+///
+/// Two execution strategies:
+///  - *shared*: eligible aggregate CQs (single raw stream, time window,
+///    GROUP BY + aggregates) read pre-merged per-slice partial states from
+///    a shared SliceAggregator and only run the cheap post-aggregation
+///    steps (HAVING/ORDER BY/LIMIT/projection) per window;
+///  - *generic*: everything else re-executes its full plan over the
+///    window's buffered rows, with stream-table joins reading a
+///    window-consistent MVCC snapshot (as of the window close).
+class ContinuousQuery {
+ public:
+  ~ContinuousQuery() = default;
+
+  /// Builds a CQ from an analyzed statement. Attempts the shared strategy
+  /// when `allow_shared`; falls back to generic. `registry` may be null
+  /// only when `allow_shared` is false.
+  static Result<std::unique_ptr<ContinuousQuery>> Build(
+      std::string name, const sql::SelectStmt& stmt,
+      const catalog::Catalog* catalog,
+      const storage::TransactionManager* txns,
+      SliceAggregatorRegistry* registry, bool allow_shared);
+
+  const std::string& name() const { return name_; }
+  const Schema& output_schema() const { return output_schema_; }
+  const std::string& stream_name() const { return stream_name_; }
+  const WindowSpec& window() const { return window_; }
+  bool is_shared() const { return shared_agg_ != nullptr; }
+
+  void AddCallback(CqCallback callback) {
+    callbacks_.push_back(std::move(callback));
+  }
+
+  /// Generic path: evaluates the plan over one closed window's contents.
+  /// Shared path: reads the shared aggregator as of the batch close (the
+  /// batch rows themselves are ignored — the aggregator already saw them).
+  Status OnWindowClose(const WindowBatch& batch);
+
+  /// Windows with close <= `watermark` are evaluated but not delivered
+  /// (used after recovery so already-persisted results are not re-emitted).
+  void SetEmitWatermark(int64_t watermark) { emit_watermark_ = watermark; }
+  int64_t emit_watermark() const { return emit_watermark_; }
+
+  /// Total windows evaluated / rows emitted (for tests and benchmarks).
+  int64_t windows_evaluated() const { return windows_evaluated_; }
+
+  /// Wall time spent evaluating windows (not counting delivery callbacks).
+  int64_t eval_micros_total() const { return eval_micros_total_; }
+  int64_t rows_emitted() const { return rows_emitted_; }
+
+  /// Base tables this CQ's plan references (lowercased; empty for the
+  /// shared strategy, whose pipeline reads no tables). The engine refuses
+  /// to drop these while the CQ runs.
+  std::vector<std::string> referenced_tables() const {
+    return plan_ != nullptr ? plan_->referenced_tables
+                            : std::vector<std::string>{};
+  }
+
+ private:
+  ContinuousQuery() = default;
+
+  Status EvaluateGeneric(const WindowBatch& batch, std::vector<Row>* out);
+  Status EvaluateShared(int64_t close, std::vector<Row>* out);
+  Status Deliver(int64_t close, const std::vector<Row>& rows);
+
+  std::string name_;
+  std::string stream_name_;
+  WindowSpec window_;
+  Schema output_schema_;
+  std::vector<CqCallback> callbacks_;
+  int64_t emit_watermark_ = INT64_MIN;
+  int64_t windows_evaluated_ = 0;
+  int64_t eval_micros_total_ = 0;
+  int64_t rows_emitted_ = 0;
+
+  // Generic path.
+  const storage::TransactionManager* txns_ = nullptr;
+  std::unique_ptr<exec::PlannedQuery> plan_;
+
+  // Shared path.
+  SliceAggregator* shared_agg_ = nullptr;  // owned by the registry
+  std::vector<size_t> slot_mapping_;       // local agg slot -> union slot
+  size_t group_count_ = 0;
+  std::vector<exec::BoundExprPtr> projections_;  // over [keys, local aggs]
+  exec::BoundExprPtr having_;
+  struct SharedOrderKey {
+    exec::BoundExprPtr expr;  // over the post-aggregation row
+    bool ascending = true;
+  };
+  std::vector<SharedOrderKey> order_keys_;
+  int64_t limit_ = -1;
+  int64_t offset_ = 0;
+};
+
+}  // namespace streamrel::stream
+
+#endif  // STREAMREL_STREAM_CONTINUOUS_QUERY_H_

@@ -1,0 +1,147 @@
+#include "stream/recovery.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "stream/channel.h"
+
+namespace streamrel::stream {
+
+Result<WalReplayResult> ReplayWal(catalog::Catalog* catalog,
+                                  storage::TransactionManager* txns,
+                                  const storage::WriteAheadLog& wal) {
+  WalReplayResult result;
+  std::unordered_map<uint64_t, storage::TxnId> txn_map;
+
+  auto mapped_txn = [&](uint64_t old_id) {
+    auto it = txn_map.find(old_id);
+    if (it != txn_map.end()) return it->second;
+    storage::TxnId fresh = txns->Begin();
+    txn_map.emplace(old_id, fresh);
+    return fresh;
+  };
+
+  Status status = wal.Replay([&](const storage::WalRecord& record) -> Status {
+    switch (record.type) {
+      case storage::WalRecordType::kBegin: {
+        mapped_txn(record.txn_id);
+        return Status::OK();
+      }
+      case storage::WalRecordType::kInsert: {
+        catalog::TableInfo* table = catalog->GetTable(record.object_name);
+        if (table == nullptr) {
+          return Status::NotFound("WAL insert into unknown table '" +
+                                  record.object_name + "'");
+        }
+        RETURN_IF_ERROR(InsertIntoTable(table, record.row,
+                                        mapped_txn(record.txn_id),
+                                        /*wal=*/nullptr));
+        ++result.rows_inserted;
+        return Status::OK();
+      }
+      case storage::WalRecordType::kDelete: {
+        catalog::TableInfo* table = catalog->GetTable(record.object_name);
+        if (table == nullptr) {
+          return Status::NotFound("WAL delete in unknown table '" +
+                                  record.object_name + "'");
+        }
+        auto row_id = static_cast<storage::RowId>(record.int_payload);
+        ASSIGN_OR_RETURN(Row row, table->heap->GetRow(row_id));
+        RETURN_IF_ERROR(DeleteFromTable(table, row_id, row,
+                                        mapped_txn(record.txn_id),
+                                        /*wal=*/nullptr));
+        ++result.rows_deleted;
+        return Status::OK();
+      }
+      case storage::WalRecordType::kCommit: {
+        RETURN_IF_ERROR(txns->Commit(mapped_txn(record.txn_id),
+                                     record.int_payload)
+                            .status());
+        ++result.transactions_committed;
+        return Status::OK();
+      }
+      case storage::WalRecordType::kAbort: {
+        return txns->Abort(mapped_txn(record.txn_id));
+      }
+      case storage::WalRecordType::kChannelProgress: {
+        // Progress records appear in log order, so the last one wins.
+        result.channel_watermarks[ToLower(record.object_name)] =
+            record.int_payload;
+        return Status::OK();
+      }
+      case storage::WalRecordType::kCheckpoint: {
+        result.latest_checkpoints[ToLower(record.object_name)] = record.blob;
+        return Status::OK();
+      }
+      case storage::WalRecordType::kVacuum: {
+        catalog::TableInfo* table = catalog->GetTable(record.object_name);
+        if (table == nullptr) {
+          return Status::NotFound("WAL vacuum of unknown table '" +
+                                  record.object_name + "'");
+        }
+        // Replaying the compaction reproduces the post-vacuum RowIds, so
+        // later logged deletes keep targeting the right rows.
+        return VacuumTable(table, txns, /*wal=*/nullptr,
+                           record.int_payload)
+            .status();
+      }
+    }
+    return Status::IoError("unknown WAL record type");
+  });
+  RETURN_IF_ERROR(status);
+
+  // Any transaction still open at end-of-log crashed mid-flight: abort it so
+  // its rows stay permanently invisible.
+  for (const auto& [old_id, fresh] : txn_map) {
+    if (!txns->IsCommitted(fresh) && !txns->IsAborted(fresh)) {
+      RETURN_IF_ERROR(txns->Abort(fresh));
+    }
+  }
+  return result;
+}
+
+Status ResumeFromActiveTables(StreamRuntime* runtime,
+                              const WalReplayResult& replay) {
+  for (const auto& [channel_name, watermark] : replay.channel_watermarks) {
+    Channel* channel = runtime->GetChannel(channel_name);
+    if (channel == nullptr) continue;  // channel not restarted
+    channel->SetWatermark(watermark);
+    const std::string& source = channel->info().from_stream;
+    const catalog::StreamInfo* stream = runtime->catalog()->GetStream(source);
+    if (stream != nullptr && stream->is_derived) {
+      // Rewind the always-on CQ behind the derived stream: it resumes at
+      // the persisted watermark, recomputing nothing that is already in
+      // the active table and re-delivering nothing.
+      RETURN_IF_ERROR(runtime->ResetCqToWatermark(
+          "$derived$" + ToLower(source), watermark));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckpointManager::WriteCheckpoint() {
+  for (const std::string& name : runtime_->CqNames()) {
+    ASSIGN_OR_RETURN(std::string blob, runtime_->SerializeCqState(name));
+    storage::WalRecord record;
+    record.type = storage::WalRecordType::kCheckpoint;
+    record.object_name = name;
+    record.blob = std::move(blob);
+    bytes_written_ += static_cast<int64_t>(record.blob.size());
+    RETURN_IF_ERROR(wal_->Append(record));
+  }
+  wal_->Sync();
+  ++checkpoints_written_;
+  return Status::OK();
+}
+
+Status CheckpointManager::RestoreFromCheckpoints(
+    const WalReplayResult& replay) {
+  for (const auto& [name, blob] : replay.latest_checkpoints) {
+    Status status = runtime_->RestoreCqState(name, blob);
+    if (status.code() == StatusCode::kNotFound) continue;  // CQ not recreated
+    RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace streamrel::stream

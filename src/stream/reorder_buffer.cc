@@ -1,0 +1,34 @@
+#include "stream/reorder_buffer.h"
+
+namespace streamrel::stream {
+
+Status ReorderBuffer::Push(int64_t ts, Row row) {
+  if (watermark_ != INT64_MIN && ts < watermark_ - slack_) {
+    return Status::InvalidArgument(
+        "row at " + std::to_string(ts) + " is later than the slack bound (" +
+        std::to_string(watermark_ - slack_) + ")");
+  }
+  pending_[ts].push_back(std::move(row));
+  ++buffered_;
+  if (ts > watermark_) watermark_ = ts;
+  // Everything at or before watermark - slack can no longer be displaced.
+  return ReleaseUpTo(watermark_ - slack_);
+}
+
+Status ReorderBuffer::ReleaseUpTo(int64_t bound) {
+  std::vector<Row> batch;
+  while (!pending_.empty() && pending_.begin()->first <= bound) {
+    for (Row& row : pending_.begin()->second) {
+      batch.push_back(std::move(row));
+    }
+    pending_.erase(pending_.begin());
+  }
+  if (batch.empty()) return Status::OK();
+  buffered_ -= batch.size();
+  released_ += static_cast<int64_t>(batch.size());
+  return sink_(batch);
+}
+
+Status ReorderBuffer::Flush() { return ReleaseUpTo(INT64_MAX); }
+
+}  // namespace streamrel::stream

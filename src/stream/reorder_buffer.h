@@ -1,0 +1,63 @@
+#ifndef STREAMREL_STREAM_REORDER_BUFFER_H_
+#define STREAMREL_STREAM_REORDER_BUFFER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace streamrel::stream {
+
+/// Bounded-slack reordering for nearly-ordered sources.
+///
+/// The paper models streams as *ordered* unbounded relations, and the
+/// runtime enforces monotone CQTIME at ingest. Real feeds (multiple
+/// collectors, network skew) are only nearly ordered; the standard remedy
+/// is a slack buffer: hold each row until the watermark has advanced
+/// `slack` past its timestamp, releasing rows in timestamp order. Rows
+/// later than the slack bound are rejected (the caller may count/drop
+/// them).
+///
+/// Usage: push rows as they arrive; releases come out via the sink
+/// callback, already ordered and safe to hand to StreamRuntime::Ingest.
+/// Call Flush when the source ends.
+class ReorderBuffer {
+ public:
+  /// `sink(ts, rows)` receives ordered rows; rows sharing a timestamp are
+  /// released together in arrival order.
+  using Sink =
+      std::function<Status(const std::vector<Row>& ordered_rows)>;
+
+  ReorderBuffer(int64_t slack_micros, Sink sink)
+      : slack_(slack_micros), sink_(std::move(sink)) {}
+
+  /// Accepts a row with timestamp `ts`. Returns kInvalidArgument (and does
+  /// not buffer) if the row is too late: ts < watermark - slack.
+  Status Push(int64_t ts, Row row);
+
+  /// Releases everything still buffered, in order (end of stream).
+  Status Flush();
+
+  /// Highest timestamp seen (the reordering watermark).
+  int64_t watermark() const { return watermark_; }
+
+  size_t buffered_rows() const { return buffered_; }
+  int64_t rows_released() const { return released_; }
+
+ private:
+  Status ReleaseUpTo(int64_t bound);
+
+  const int64_t slack_;
+  Sink sink_;
+  std::map<int64_t, std::vector<Row>> pending_;  // ts -> rows
+  int64_t watermark_ = INT64_MIN;
+  size_t buffered_ = 0;
+  int64_t released_ = 0;
+};
+
+}  // namespace streamrel::stream
+
+#endif  // STREAMREL_STREAM_REORDER_BUFFER_H_

@@ -1,0 +1,404 @@
+#include "stream/runtime.h"
+
+#include "common/string_util.h"
+
+namespace streamrel::stream {
+
+StreamRuntime::StreamRuntime(catalog::Catalog* catalog,
+                             storage::TransactionManager* txns,
+                             storage::WriteAheadLog* wal)
+    : catalog_(catalog), txns_(txns), wal_(wal) {}
+
+StreamRuntime::StreamState* StreamRuntime::GetState(const std::string& name) {
+  auto it = streams_.find(ToLower(name));
+  return it == streams_.end() ? nullptr : &it->second;
+}
+const StreamRuntime::StreamState* StreamRuntime::GetState(
+    const std::string& name) const {
+  auto it = streams_.find(ToLower(name));
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+Status StreamRuntime::RegisterStream(const std::string& name) {
+  catalog::StreamInfo* info = catalog_->GetStream(name);
+  if (info == nullptr) {
+    return Status::NotFound("stream '" + name + "' not in catalog");
+  }
+  std::string key = ToLower(name);
+  if (streams_.count(key)) return Status::OK();
+  StreamState state;
+  state.info = info;
+  streams_.emplace(std::move(key), std::move(state));
+  return Status::OK();
+}
+
+Status StreamRuntime::AttachCqSubscription(ContinuousQuery* cq) {
+  RETURN_IF_ERROR(RegisterStream(cq->stream_name()));
+  StreamState* state = GetState(cq->stream_name());
+  if (cq->window().kind == WindowSpec::Kind::kSlices &&
+      !state->info->is_derived) {
+    return Status::InvalidArgument(
+        "<SLICES n WINDOWS> applies to derived streams (it groups upstream "
+        "window closes); stream '" + cq->stream_name() + "' is a raw stream "
+        "— use a VISIBLE/ADVANCE window instead");
+  }
+  Subscription sub;
+  sub.cq = cq;
+  sub.window_op = std::make_unique<WindowOperator>(cq->window());
+  sub.feed_rows = !cq->is_shared();
+  state->subs.push_back(std::move(sub));
+  return Status::OK();
+}
+
+Result<ContinuousQuery*> StreamRuntime::CreateCq(const std::string& name,
+                                                 const sql::SelectStmt& stmt,
+                                                 bool allow_shared) {
+  std::string key = ToLower(name);
+  if (cqs_.count(key)) {
+    return Status::AlreadyExists("a continuous query named '" + name +
+                                 "' exists");
+  }
+  ASSIGN_OR_RETURN(std::unique_ptr<ContinuousQuery> cq,
+                   ContinuousQuery::Build(name, stmt, catalog_, txns_,
+                                          &registry_, allow_shared));
+  ContinuousQuery* ptr = cq.get();
+  RETURN_IF_ERROR(AttachCqSubscription(ptr));
+  cqs_.emplace(std::move(key), std::move(cq));
+  return ptr;
+}
+
+Status StreamRuntime::DropCq(const std::string& name) {
+  std::string key = ToLower(name);
+  auto it = cqs_.find(key);
+  if (it == cqs_.end()) {
+    return Status::NotFound("continuous query '" + name + "' not found");
+  }
+  ContinuousQuery* cq = it->second.get();
+  StreamState* state = GetState(cq->stream_name());
+  if (state != nullptr) {
+    for (auto sit = state->subs.begin(); sit != state->subs.end(); ++sit) {
+      if (sit->cq == cq) {
+        state->subs.erase(sit);
+        break;
+      }
+    }
+  }
+  cqs_.erase(it);
+  return Status::OK();
+}
+
+ContinuousQuery* StreamRuntime::GetCq(const std::string& name) {
+  auto it = cqs_.find(ToLower(name));
+  return it == cqs_.end() ? nullptr : it->second.get();
+}
+
+Status StreamRuntime::StartDerivedStream(const std::string& name) {
+  catalog::StreamInfo* info = catalog_->GetStream(name);
+  if (info == nullptr || !info->is_derived) {
+    return Status::NotFound("derived stream '" + name + "' not in catalog");
+  }
+  if (info->defining_query == nullptr) {
+    return Status::Internal("derived stream '" + name +
+                            "' has no defining query");
+  }
+  RETURN_IF_ERROR(RegisterStream(name));
+  std::string cq_name = "$derived$" + ToLower(name);
+  ASSIGN_OR_RETURN(ContinuousQuery * cq,
+                   CreateCq(cq_name, *info->defining_query,
+                            /*allow_shared=*/true));
+  std::string stream_name = info->name;
+  cq->AddCallback([this, stream_name](int64_t close,
+                                      const std::vector<Row>& rows) {
+    return PublishBatch(stream_name, close, rows);
+  });
+  return Status::OK();
+}
+
+Status StreamRuntime::StartChannel(const std::string& name) {
+  catalog::ChannelInfo* info = catalog_->GetChannel(name);
+  if (info == nullptr) {
+    return Status::NotFound("channel '" + name + "' not in catalog");
+  }
+  catalog::TableInfo* table = catalog_->GetTable(info->into_table);
+  if (table == nullptr) {
+    return Status::NotFound("channel target table '" + info->into_table +
+                            "' not found");
+  }
+  RETURN_IF_ERROR(RegisterStream(info->from_stream));
+  std::string key = ToLower(name);
+  if (channels_.count(key)) {
+    return Status::AlreadyExists("channel '" + name + "' already running");
+  }
+  auto channel = std::make_unique<Channel>(*info, table, txns_, wal_);
+  GetState(info->from_stream)->channels.push_back(channel.get());
+  channels_.emplace(std::move(key), std::move(channel));
+  return Status::OK();
+}
+
+Channel* StreamRuntime::GetChannel(const std::string& name) {
+  auto it = channels_.find(ToLower(name));
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+Status StreamRuntime::StopChannel(const std::string& name) {
+  auto it = channels_.find(ToLower(name));
+  if (it == channels_.end()) {
+    return Status::NotFound("channel '" + name + "' is not running");
+  }
+  Channel* channel = it->second.get();
+  StreamState* state = GetState(channel->info().from_stream);
+  if (state != nullptr) {
+    for (auto cit = state->channels.begin(); cit != state->channels.end();
+         ++cit) {
+      if (*cit == channel) {
+        state->channels.erase(cit);
+        break;
+      }
+    }
+  }
+  channels_.erase(it);
+  return Status::OK();
+}
+
+std::string StreamRuntime::StreamInUseBy(const std::string& stream) const {
+  const StreamState* state = GetState(stream);
+  if (state == nullptr) return "";
+  for (const Subscription& sub : state->subs) {
+    return "continuous query '" + sub.cq->name() + "'";
+  }
+  if (!state->channels.empty()) {
+    return "channel '" + state->channels.front()->info().name + "'";
+  }
+  if (!state->client_subs.empty()) return "a client subscription";
+  return "";
+}
+
+std::string StreamRuntime::TableInUseBy(const std::string& table) const {
+  std::string key = ToLower(table);
+  for (const auto& [name, channel] : channels_) {
+    if (ToLower(channel->info().into_table) == key) {
+      return "channel '" + channel->info().name + "'";
+    }
+  }
+  for (const auto& [name, cq] : cqs_) {
+    for (const std::string& ref : cq->referenced_tables()) {
+      if (ref == key) {
+        return "continuous query '" + cq->name() + "'";
+      }
+    }
+  }
+  return "";
+}
+
+Status StreamRuntime::UnregisterStream(const std::string& name) {
+  std::string in_use = StreamInUseBy(name);
+  if (!in_use.empty()) {
+    return Status::InvalidArgument("stream '" + name + "' is in use by " +
+                                   in_use);
+  }
+  streams_.erase(ToLower(name));
+  return Status::OK();
+}
+
+Status StreamRuntime::SubscribeStream(const std::string& stream,
+                                      CqCallback callback) {
+  RETURN_IF_ERROR(RegisterStream(stream));
+  GetState(stream)->client_subs.push_back(std::move(callback));
+  return Status::OK();
+}
+
+Status StreamRuntime::ProcessClosed(Subscription* sub,
+                                    std::vector<WindowBatch>* closed) {
+  for (WindowBatch& batch : *closed) {
+    RETURN_IF_ERROR(sub->cq->OnWindowClose(batch));
+  }
+  closed->clear();
+  return Status::OK();
+}
+
+Status StreamRuntime::Ingest(const std::string& stream,
+                             const std::vector<Row>& rows,
+                             int64_t system_time) {
+  StreamState* state = GetState(stream);
+  if (state == nullptr) {
+    RETURN_IF_ERROR(RegisterStream(stream));
+    state = GetState(stream);
+  }
+  catalog::StreamInfo* info = state->info;
+  if (info->is_derived) {
+    return Status::InvalidArgument(
+        "cannot ingest into derived stream '" + stream +
+        "'; it is computed by its defining query");
+  }
+  const size_t arity = info->schema.num_columns();
+  std::vector<WindowBatch> closed;
+  // Rows as actually admitted (CQTIME SYSTEM stamps the timestamp column);
+  // channels and client subscriptions see these, not the raw input.
+  std::vector<Row> admitted;
+  admitted.reserve(rows.size());
+  for (const Row& row : rows) {
+    if (row.size() != arity) {
+      return Status::InvalidArgument(
+          "row arity does not match stream '" + stream + "'");
+    }
+    int64_t ts;
+    if (info->cqtime_system) {
+      if (system_time == INT64_MIN) {
+        return Status::InvalidArgument(
+            "stream '" + stream +
+            "' has CQTIME SYSTEM; pass an ingest time");
+      }
+      ts = system_time;
+    } else {
+      const Value& tv = row[info->cqtime_column];
+      if (tv.is_null()) {
+        return Status::InvalidArgument("NULL CQTIME value");
+      }
+      if (tv.type() == DataType::kTimestamp) {
+        ts = tv.AsTimestampMicros();
+      } else if (tv.type() == DataType::kInt64) {
+        ts = tv.AsInt64();
+      } else {
+        return Status::InvalidArgument(
+            "CQTIME column must be a timestamp");
+      }
+    }
+    if (state->watermark != INT64_MIN && ts < state->watermark) {
+      return Status::InvalidArgument(
+          "out-of-order row: ts " + std::to_string(ts) +
+          " is behind stream watermark " +
+          std::to_string(state->watermark));
+    }
+    Row stamped = row;
+    if (info->cqtime_system) {
+      stamped[info->cqtime_column] = Value::Timestamp(ts);
+    }
+
+    for (SliceAggregator* agg : registry_.ForStream(info->name)) {
+      RETURN_IF_ERROR(agg->AddRow(ts, stamped));
+    }
+    for (Subscription& sub : state->subs) {
+      if (sub.feed_rows) {
+        RETURN_IF_ERROR(sub.window_op->AddRow(ts, stamped, &closed));
+      } else {
+        sub.window_op->StartAt(ts);
+        RETURN_IF_ERROR(sub.window_op->AdvanceTime(ts, &closed));
+      }
+      RETURN_IF_ERROR(ProcessClosed(&sub, &closed));
+    }
+    state->watermark = ts;
+    ++rows_ingested_;
+    admitted.push_back(std::move(stamped));
+  }
+
+  // Evict slices no live window can reference.
+  for (SliceAggregator* agg : registry_.ForStream(info->name)) {
+    agg->EvictBefore(state->watermark - agg->max_visible());
+  }
+  // Raw-stream channels archive ingested rows directly (commit time =
+  // current watermark).
+  for (Channel* channel : state->channels) {
+    RETURN_IF_ERROR(channel->OnRawRows(state->watermark, admitted));
+  }
+  for (const CqCallback& cb : state->client_subs) {
+    RETURN_IF_ERROR(cb(state->watermark, admitted));
+  }
+  return Status::OK();
+}
+
+Status StreamRuntime::AdvanceTime(const std::string& stream,
+                                  int64_t watermark) {
+  StreamState* state = GetState(stream);
+  if (state == nullptr) {
+    RETURN_IF_ERROR(RegisterStream(stream));
+    state = GetState(stream);
+  }
+  if (state->watermark != INT64_MIN && watermark < state->watermark) {
+    return Status::InvalidArgument("watermark regression");
+  }
+  std::vector<WindowBatch> closed;
+  for (Subscription& sub : state->subs) {
+    RETURN_IF_ERROR(sub.window_op->AdvanceTime(watermark, &closed));
+    RETURN_IF_ERROR(ProcessClosed(&sub, &closed));
+  }
+  state->watermark = watermark;
+  for (SliceAggregator* agg : registry_.ForStream(state->info->name)) {
+    agg->EvictBefore(state->watermark - agg->max_visible());
+  }
+  return Status::OK();
+}
+
+Status StreamRuntime::PublishBatch(const std::string& stream, int64_t close,
+                                   const std::vector<Row>& rows) {
+  StreamState* state = GetState(stream);
+  if (state == nullptr) {
+    return Status::Internal("derived stream '" + stream + "' not registered");
+  }
+  std::vector<WindowBatch> closed;
+  for (Subscription& sub : state->subs) {
+    RETURN_IF_ERROR(sub.window_op->AddBatch(close, rows, &closed));
+    RETURN_IF_ERROR(ProcessClosed(&sub, &closed));
+  }
+  state->watermark = close;
+  for (Channel* channel : state->channels) {
+    RETURN_IF_ERROR(channel->OnBatch(close, rows));
+  }
+  for (const CqCallback& cb : state->client_subs) {
+    RETURN_IF_ERROR(cb(close, rows));
+  }
+  return Status::OK();
+}
+
+int64_t StreamRuntime::watermark(const std::string& stream) const {
+  const StreamState* state = GetState(stream);
+  return state == nullptr ? INT64_MIN : state->watermark;
+}
+
+Result<std::string> StreamRuntime::SerializeCqState(
+    const std::string& name) const {
+  for (const auto& [key, state] : streams_) {
+    for (const Subscription& sub : state.subs) {
+      if (EqualsIgnoreCase(sub.cq->name(), name)) {
+        std::string blob;
+        sub.window_op->Serialize(&blob);
+        return blob;
+      }
+    }
+  }
+  return Status::NotFound("continuous query '" + name + "' not found");
+}
+
+Status StreamRuntime::RestoreCqState(const std::string& name,
+                                     const std::string& blob) {
+  for (auto& [key, state] : streams_) {
+    for (Subscription& sub : state.subs) {
+      if (EqualsIgnoreCase(sub.cq->name(), name)) {
+        return sub.window_op->Restore(blob);
+      }
+    }
+  }
+  return Status::NotFound("continuous query '" + name + "' not found");
+}
+
+Status StreamRuntime::ResetCqToWatermark(const std::string& name,
+                                         int64_t watermark) {
+  for (auto& [key, state] : streams_) {
+    for (Subscription& sub : state.subs) {
+      if (EqualsIgnoreCase(sub.cq->name(), name)) {
+        sub.window_op->ResetToWatermark(watermark);
+        sub.cq->SetEmitWatermark(watermark);
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("continuous query '" + name + "' not found");
+}
+
+std::vector<std::string> StreamRuntime::CqNames() const {
+  std::vector<std::string> names;
+  names.reserve(cqs_.size());
+  for (const auto& [key, cq] : cqs_) names.push_back(cq->name());
+  return names;
+}
+
+}  // namespace streamrel::stream

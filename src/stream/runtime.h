@@ -1,0 +1,147 @@
+#ifndef STREAMREL_STREAM_RUNTIME_H_
+#define STREAMREL_STREAM_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/transaction.h"
+#include "storage/wal.h"
+#include "stream/channel.h"
+#include "stream/continuous_query.h"
+#include "stream/window_operator.h"
+
+namespace streamrel::stream {
+
+/// The continuous-analytics dataflow engine: routes arriving stream rows
+/// through shared slice aggregators and per-CQ window operators, fires
+/// window closes as the watermark advances, cascades derived-stream
+/// batches downstream, and drives channels into active tables.
+///
+/// Single-threaded by design: one runtime instance is driven by one ingest
+/// loop (the paper's engine processes each stream's data in arrival order).
+class StreamRuntime {
+ public:
+  StreamRuntime(catalog::Catalog* catalog,
+                storage::TransactionManager* txns,
+                storage::WriteAheadLog* wal);
+
+  // --- lifecycle of continuous objects ------------------------------------
+
+  /// Registers a raw or derived stream that already exists in the catalog.
+  Status RegisterStream(const std::string& name);
+
+  /// Creates and starts a named CQ over `stmt`. `allow_shared` gates the
+  /// shared slice-aggregation strategy (benchmarks flip it off to measure
+  /// the sharing win).
+  Result<ContinuousQuery*> CreateCq(const std::string& name,
+                                    const sql::SelectStmt& stmt,
+                                    bool allow_shared = true);
+
+  Status DropCq(const std::string& name);
+  ContinuousQuery* GetCq(const std::string& name);
+
+  /// Instantiates the always-on CQ behind a derived stream (the catalog
+  /// entry, including the defining query, must already exist). Output
+  /// batches are re-published to the derived stream's subscribers.
+  Status StartDerivedStream(const std::string& name);
+
+  /// Creates the channel (catalog entry must exist) and subscribes it to
+  /// its source stream.
+  Status StartChannel(const std::string& name);
+  Channel* GetChannel(const std::string& name);
+
+  /// Stops a running channel (detaches it from its source stream).
+  Status StopChannel(const std::string& name);
+
+  /// Non-empty if the stream has live consumers (CQs, channels, or client
+  /// subscriptions); the returned text names one of them.
+  std::string StreamInUseBy(const std::string& stream) const;
+
+  /// Non-empty if a running CQ's plan or a channel targets `table`.
+  std::string TableInUseBy(const std::string& table) const;
+
+  /// Drops runtime state for a stream with no consumers.
+  Status UnregisterStream(const std::string& name);
+
+  /// Client subscription to a stream's batches (derived streams deliver
+  /// their CQ output; raw streams deliver ingested rows).
+  Status SubscribeStream(const std::string& stream, CqCallback callback);
+
+  // --- data ----------------------------------------------------------------
+
+  /// Ingests ordered rows into a raw stream. CQTIME USER streams read each
+  /// row's timestamp column; CQTIME SYSTEM streams are stamped with
+  /// `system_time` (required > current watermark).
+  Status Ingest(const std::string& stream, const std::vector<Row>& rows,
+                int64_t system_time = INT64_MIN);
+
+  /// Heartbeat: advances a raw stream's watermark without data, closing due
+  /// windows (and cascading empty results downstream).
+  Status AdvanceTime(const std::string& stream, int64_t watermark);
+
+  int64_t watermark(const std::string& stream) const;
+
+  // --- recovery support ------------------------------------------------------
+
+  /// Serializes a generic CQ's window-operator state (checkpoint strategy).
+  Result<std::string> SerializeCqState(const std::string& name) const;
+  Status RestoreCqState(const std::string& name, const std::string& blob);
+
+  /// Resets a CQ to resume cleanly from `watermark` (active-table
+  /// strategy): buffered state is dropped and windows closing at or before
+  /// the watermark are evaluated but not re-delivered.
+  Status ResetCqToWatermark(const std::string& name, int64_t watermark);
+
+  std::vector<std::string> CqNames() const;
+
+  /// Rows ingested across all raw streams (benchmark accounting).
+  int64_t rows_ingested() const { return rows_ingested_; }
+
+  catalog::Catalog* catalog() { return catalog_; }
+
+ private:
+  struct Subscription {
+    ContinuousQuery* cq = nullptr;  // owned by cqs_
+    std::unique_ptr<WindowOperator> window_op;
+    /// False for shared-strategy CQs: rows flow through the slice
+    /// aggregator; the window operator only schedules closes.
+    bool feed_rows = true;
+  };
+
+  struct StreamState {
+    catalog::StreamInfo* info = nullptr;
+    int64_t watermark = INT64_MIN;
+    std::vector<Subscription> subs;
+    std::vector<Channel*> channels;        // owned by channels_
+    std::vector<CqCallback> client_subs;
+  };
+
+  StreamState* GetState(const std::string& name);
+  const StreamState* GetState(const std::string& name) const;
+
+  /// Delivers a produced batch to a (derived) stream's subscribers.
+  Status PublishBatch(const std::string& stream, int64_t close,
+                      const std::vector<Row>& rows);
+
+  Status ProcessClosed(Subscription* sub, std::vector<WindowBatch>* closed);
+
+  Status AttachCqSubscription(ContinuousQuery* cq);
+
+  catalog::Catalog* catalog_;
+  storage::TransactionManager* txns_;
+  storage::WriteAheadLog* wal_;
+
+  std::map<std::string, StreamState> streams_;  // lowercased name
+  std::map<std::string, std::unique_ptr<ContinuousQuery>> cqs_;
+  std::map<std::string, std::unique_ptr<Channel>> channels_;
+  SliceAggregatorRegistry registry_;
+  int64_t rows_ingested_ = 0;
+};
+
+}  // namespace streamrel::stream
+
+#endif  // STREAMREL_STREAM_RUNTIME_H_

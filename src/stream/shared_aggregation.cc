@@ -1,0 +1,191 @@
+#include "stream/shared_aggregation.h"
+
+#include "exec/operators.h"
+
+namespace streamrel::stream {
+
+SliceAggregator::SliceAggregator(int64_t slice_width_micros,
+                                 exec::BoundExprPtr filter,
+                                 std::vector<exec::BoundExprPtr> group_exprs)
+    : slice_width_(slice_width_micros),
+      filter_(std::move(filter)),
+      group_exprs_(std::move(group_exprs)) {}
+
+Result<std::vector<size_t>> SliceAggregator::RegisterCalls(
+    std::vector<exec::AggregateCall> calls) {
+  std::vector<size_t> mapping;
+  mapping.reserve(calls.size());
+  for (exec::AggregateCall& call : calls) {
+    size_t slot = calls_.size();
+    for (size_t i = 0; i < calls_.size(); ++i) {
+      if (calls_[i].display_name == call.display_name) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == calls_.size()) {
+      if (rows_absorbed_ > 0 || !slices_.empty()) {
+        return Status::Aborted(
+            "cannot add aggregate '" + call.display_name +
+            "' to a live shared pipeline (no backfill); use a fresh "
+            "aggregator");
+      }
+      calls_.push_back(std::move(call));
+    }
+    mapping.push_back(slot);
+  }
+  return mapping;
+}
+
+bool SliceAggregator::CanAccept(
+    const std::vector<exec::AggregateCall>& calls) const {
+  if (rows_absorbed_ == 0 && slices_.empty()) return true;
+  for (const exec::AggregateCall& call : calls) {
+    bool found = false;
+    for (const exec::AggregateCall& mine : calls_) {
+      if (mine.display_name == call.display_name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Result<std::vector<exec::AggStatePtr>> SliceAggregator::NewStates() const {
+  std::vector<exec::AggStatePtr> states;
+  states.reserve(calls_.size());
+  for (const exec::AggregateCall& call : calls_) {
+    ASSIGN_OR_RETURN(exec::AggStatePtr state,
+                     exec::MakeAggState(call.function, call.star,
+                                        call.distinct));
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+Status SliceAggregator::AddRow(int64_t ts, const Row& row) {
+  exec::EvalContext ctx;  // cq_close is not available pre-aggregation
+  if (filter_ != nullptr) {
+    ASSIGN_OR_RETURN(bool keep, exec::EvalPredicate(*filter_, row, ctx));
+    if (!keep) return Status::OK();
+  }
+  int64_t q = ts / slice_width_;
+  if (ts % slice_width_ != 0 && ts < 0) --q;  // floor division
+  int64_t slice_start = q * slice_width_;
+  Slice& slice = slices_[slice_start];
+
+  std::vector<Value> keys;
+  keys.reserve(group_exprs_.size());
+  for (const auto& g : group_exprs_) {
+    ASSIGN_OR_RETURN(Value v, g->Eval(row, ctx));
+    keys.push_back(std::move(v));
+  }
+  size_t h = exec::HashValues(keys);
+  auto& bucket = slice.lookup[h];
+  Group* group = nullptr;
+  for (size_t idx : bucket) {
+    if (exec::ValuesEqual(slice.groups[idx].keys, keys)) {
+      group = &slice.groups[idx];
+      break;
+    }
+  }
+  if (group == nullptr) {
+    bucket.push_back(slice.groups.size());
+    Group g;
+    g.keys = std::move(keys);
+    ASSIGN_OR_RETURN(g.states, NewStates());
+    slice.groups.push_back(std::move(g));
+    group = &slice.groups.back();
+  }
+  for (size_t i = 0; i < calls_.size(); ++i) {
+    Value arg = Value::Null();
+    if (calls_[i].argument != nullptr) {
+      ASSIGN_OR_RETURN(arg, calls_[i].argument->Eval(row, ctx));
+    }
+    group->states[i]->Update(arg);
+  }
+  ++rows_absorbed_;
+  return Status::OK();
+}
+
+Result<std::vector<Row>> SliceAggregator::ComputeWindow(
+    int64_t close, int64_t visible,
+    const std::vector<size_t>* slots) const {
+  if (visible % slice_width_ != 0) {
+    return Status::Internal("window width is not a multiple of slice width");
+  }
+  int64_t open = close - visible;
+
+  // Which union slots to merge/finalize, in output order.
+  std::vector<size_t> all;
+  if (slots == nullptr) {
+    all.resize(calls_.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    slots = &all;
+  }
+  for (size_t slot : *slots) {
+    if (slot >= calls_.size()) {
+      return Status::Internal("aggregate slot out of range");
+    }
+  }
+
+  std::vector<Group> merged;
+  std::unordered_map<size_t, std::vector<size_t>> lookup;
+
+  for (auto it = slices_.lower_bound(open);
+       it != slices_.end() && it->first < close; ++it) {
+    for (const Group& g : it->second.groups) {
+      size_t h = exec::HashValues(g.keys);
+      auto& bucket = lookup[h];
+      Group* target = nullptr;
+      for (size_t idx : bucket) {
+        if (exec::ValuesEqual(merged[idx].keys, g.keys)) {
+          target = &merged[idx];
+          break;
+        }
+      }
+      if (target == nullptr) {
+        bucket.push_back(merged.size());
+        Group copy;
+        copy.keys = g.keys;
+        copy.states.reserve(slots->size());
+        for (size_t slot : *slots) {
+          copy.states.push_back(g.states[slot]->Clone());
+        }
+        merged.push_back(std::move(copy));
+        continue;
+      }
+      for (size_t i = 0; i < slots->size(); ++i) {
+        RETURN_IF_ERROR(target->states[i]->Merge(*g.states[(*slots)[i]]));
+      }
+    }
+  }
+
+  // Scalar aggregation emits one row even for an empty window.
+  if (merged.empty() && group_exprs_.empty()) {
+    Group g;
+    ASSIGN_OR_RETURN(std::vector<exec::AggStatePtr> fresh, NewStates());
+    g.states.reserve(slots->size());
+    for (size_t slot : *slots) g.states.push_back(std::move(fresh[slot]));
+    merged.push_back(std::move(g));
+  }
+
+  std::vector<Row> rows;
+  rows.reserve(merged.size());
+  for (Group& g : merged) {
+    Row row = std::move(g.keys);
+    for (const auto& state : g.states) row.push_back(state->Final());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void SliceAggregator::EvictBefore(int64_t ts) {
+  while (!slices_.empty() && slices_.begin()->first + slice_width_ <= ts) {
+    slices_.erase(slices_.begin());
+  }
+}
+
+}  // namespace streamrel::stream

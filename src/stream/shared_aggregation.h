@@ -1,0 +1,105 @@
+#ifndef STREAMREL_STREAM_SHARED_AGGREGATION_H_
+#define STREAMREL_STREAM_SHARED_AGGREGATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "exec/binder.h"
+
+namespace streamrel::stream {
+
+/// The paper's "jellybean processing" engine: one pass over the arriving
+/// stream computes, simultaneously, the partial aggregates that many
+/// continuous queries need (Sections 2.2 and 5; the technique follows the
+/// paned/paired-window decomposition of [Krishnamurthy et al., SIGMOD'06]).
+///
+/// A sliding window <VISIBLE V ADVANCE A> decomposes into disjoint
+/// *slices* of width gcd(V, A). Each arriving row updates the per-group
+/// aggregate states of its slice exactly once; when a window closes, the
+/// V/gcd slices it covers are merged. CQs over the same stream with the
+/// same filter and grouping — even with different window widths, as long as
+/// the slice width divides both — share one SliceAggregator, so N dashboard
+/// metrics cost one update per row instead of N.
+///
+/// The aggregate-call list is the union across member CQs; each member gets
+/// a slot mapping from its calls into the union.
+class SliceAggregator {
+ public:
+  /// `filter` (nullable) and `group_exprs` are bound against the stream
+  /// schema; `slice_width_micros` must divide every member window's VISIBLE
+  /// and ADVANCE.
+  SliceAggregator(int64_t slice_width_micros, exec::BoundExprPtr filter,
+                  std::vector<exec::BoundExprPtr> group_exprs);
+
+  /// Registers a member CQ's aggregate calls; calls with a display name
+  /// already in the union are shared, new ones are appended. Appending is
+  /// only allowed while no rows have been absorbed (a later CQ with new
+  /// aggregates gets its own aggregator — its history cannot be
+  /// backfilled). Returns the union slot of each call, in order.
+  Result<std::vector<size_t>> RegisterCalls(
+      std::vector<exec::AggregateCall> calls);
+
+  /// True if RegisterCalls(calls) would succeed: either the pipeline has
+  /// absorbed nothing yet, or every call's display name is already in the
+  /// union.
+  bool CanAccept(const std::vector<exec::AggregateCall>& calls) const;
+
+  /// Absorbs one stream row into its slice (ts / slice_width).
+  Status AddRow(int64_t ts, const Row& row);
+
+  /// Produces the aggregated relation for the window [close - visible,
+  /// close). With `slots == nullptr`, rows are laid out as
+  /// [group keys..., all union aggregate results...]; otherwise only the
+  /// requested union slots are merged and finalized, in the given order —
+  /// a member CQ passes its slot mapping so it never pays for aggregates
+  /// other members registered. With no group keys, exactly one row is
+  /// produced (possibly from zero input). `visible` must be a multiple of
+  /// the slice width.
+  Result<std::vector<Row>> ComputeWindow(
+      int64_t close, int64_t visible,
+      const std::vector<size_t>* slots = nullptr) const;
+
+  /// Drops slices that no member window can still reference.
+  void EvictBefore(int64_t ts);
+
+  int64_t slice_width() const { return slice_width_; }
+  size_t union_call_count() const { return calls_.size(); }
+  size_t live_slices() const { return slices_.size(); }
+  int64_t rows_absorbed() const { return rows_absorbed_; }
+
+  /// Records that a member window needs `visible` micros of history;
+  /// eviction keeps max over members.
+  void NoteWindowVisible(int64_t visible) {
+    if (visible > max_visible_) max_visible_ = visible;
+  }
+  int64_t max_visible() const { return max_visible_; }
+
+ private:
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<exec::AggStatePtr> states;
+  };
+  struct Slice {
+    std::vector<Group> groups;
+    std::unordered_map<size_t, std::vector<size_t>> lookup;
+  };
+
+  Result<std::vector<exec::AggStatePtr>> NewStates() const;
+
+  const int64_t slice_width_;
+  exec::BoundExprPtr filter_;
+  std::vector<exec::BoundExprPtr> group_exprs_;
+  std::vector<exec::AggregateCall> calls_;  // the union
+  std::map<int64_t, Slice> slices_;         // keyed by slice start time
+  int64_t rows_absorbed_ = 0;
+  int64_t max_visible_ = 0;
+};
+
+}  // namespace streamrel::stream
+
+#endif  // STREAMREL_STREAM_SHARED_AGGREGATION_H_

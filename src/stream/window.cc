@@ -1,0 +1,44 @@
+#include "stream/window.h"
+
+#include "common/time.h"
+
+namespace streamrel::stream {
+
+Result<WindowSpec> WindowSpec::FromAst(const sql::WindowSpecAst& ast) {
+  WindowSpec spec;
+  if (ast.is_slices) {
+    if (ast.slices_count < 1) {
+      return Status::InvalidArgument("SLICES count must be at least 1");
+    }
+    spec.kind = Kind::kSlices;
+    spec.slices_count = ast.slices_count;
+    return spec;
+  }
+  spec.kind = ast.unit == sql::WindowUnit::kTime ? Kind::kTime : Kind::kRows;
+  spec.visible = ast.visible;
+  spec.advance = ast.advance;
+  if (spec.visible <= 0 || spec.advance <= 0) {
+    return Status::InvalidArgument("window VISIBLE/ADVANCE must be positive");
+  }
+  if (spec.kind == Kind::kTime && spec.visible % spec.advance != 0 &&
+      spec.advance % spec.visible != 0) {
+    // Arbitrary ratios still work (gcd slicing); nothing to reject.
+  }
+  return spec;
+}
+
+std::string WindowSpec::ToString() const {
+  switch (kind) {
+    case Kind::kSlices:
+      return "<SLICES " + std::to_string(slices_count) + " WINDOWS>";
+    case Kind::kRows:
+      return "<VISIBLE " + std::to_string(visible) + " ROWS ADVANCE " +
+             std::to_string(advance) + " ROWS>";
+    case Kind::kTime:
+      return "<VISIBLE '" + FormatIntervalMicros(visible) + "' ADVANCE '" +
+             FormatIntervalMicros(advance) + "'>";
+  }
+  return "?";
+}
+
+}  // namespace streamrel::stream

@@ -1,0 +1,51 @@
+#ifndef STREAMREL_STREAM_WINDOW_H_
+#define STREAMREL_STREAM_WINDOW_H_
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace streamrel::stream {
+
+/// Runtime form of a TruSQL window clause. Windows turn a stream into a
+/// sequence of relations (Figure 1 in the paper): the relation for the
+/// window closing at time `c` contains the rows with timestamp in
+/// [c - visible, c); closes occur at every multiple of `advance`.
+struct WindowSpec {
+  enum class Kind {
+    kTime,    // VISIBLE/ADVANCE as intervals over the CQTIME attribute
+    kRows,    // VISIBLE/ADVANCE as row counts
+    kSlices,  // SLICES n WINDOWS over an upstream derived stream's batches
+  };
+
+  Kind kind = Kind::kTime;
+  int64_t visible = 0;       // micros or rows
+  int64_t advance = 0;       // micros or rows
+  int64_t slices_count = 1;  // kSlices
+
+  static Result<WindowSpec> FromAst(const sql::WindowSpecAst& ast);
+
+  bool is_time() const { return kind == Kind::kTime; }
+  bool is_sliding() const { return visible > advance; }
+
+  /// Width of the disjoint slices a time window decomposes into
+  /// (gcd(visible, advance)) — the unit of shared partial aggregation.
+  int64_t SliceWidthMicros() const {
+    return std::gcd(visible, advance);
+  }
+
+  /// Earliest window close strictly greater than `ts` (time windows;
+  /// closes are aligned to multiples of `advance` from the epoch).
+  int64_t FirstCloseAfter(int64_t ts) const {
+    return (ts / advance + 1) * advance;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace streamrel::stream
+
+#endif  // STREAMREL_STREAM_WINDOW_H_

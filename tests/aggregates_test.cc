@@ -1,0 +1,200 @@
+#include "exec/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamrel::exec {
+namespace {
+
+AggStatePtr Make(const std::string& name, bool star = false,
+                 bool distinct = false) {
+  auto r = MakeAggState(name, star, distinct);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.TakeValue();
+}
+
+TEST(AggregatesTest, CountStar) {
+  auto s = Make("count", /*star=*/true);
+  s->Update(Value::Null());  // star counts nulls too
+  s->Update(Value::Int64(1));
+  EXPECT_EQ(s->Final().AsInt64(), 2);
+}
+
+TEST(AggregatesTest, CountSkipsNulls) {
+  auto s = Make("count");
+  s->Update(Value::Null());
+  s->Update(Value::Int64(1));
+  s->Update(Value::Int64(2));
+  EXPECT_EQ(s->Final().AsInt64(), 2);
+}
+
+TEST(AggregatesTest, CountDistinct) {
+  auto s = Make("count", false, /*distinct=*/true);
+  s->Update(Value::String("a"));
+  s->Update(Value::String("b"));
+  s->Update(Value::String("a"));
+  s->Update(Value::Null());
+  EXPECT_EQ(s->Final().AsInt64(), 2);
+}
+
+TEST(AggregatesTest, DistinctOnlyForCount) {
+  EXPECT_FALSE(MakeAggState("sum", false, true).ok());
+}
+
+TEST(AggregatesTest, SumIntAndDouble) {
+  auto s = Make("sum");
+  s->Update(Value::Int64(2));
+  s->Update(Value::Int64(3));
+  EXPECT_EQ(s->Final().AsInt64(), 5);
+  EXPECT_EQ(s->Final().type(), DataType::kInt64);
+
+  auto d = Make("sum");
+  d->Update(Value::Double(1.5));
+  d->Update(Value::Int64(2));
+  EXPECT_DOUBLE_EQ(d->Final().AsDouble(), 3.5);
+}
+
+TEST(AggregatesTest, SumOfNothingIsNull) {
+  auto s = Make("sum");
+  EXPECT_TRUE(s->Final().is_null());
+  s->Update(Value::Null());
+  EXPECT_TRUE(s->Final().is_null());
+}
+
+TEST(AggregatesTest, Avg) {
+  auto s = Make("avg");
+  s->Update(Value::Int64(1));
+  s->Update(Value::Int64(2));
+  s->Update(Value::Null());
+  EXPECT_DOUBLE_EQ(s->Final().AsDouble(), 1.5);
+}
+
+TEST(AggregatesTest, MinMax) {
+  auto lo = Make("min");
+  auto hi = Make("max");
+  for (int v : {5, 2, 9, 2}) {
+    lo->Update(Value::Int64(v));
+    hi->Update(Value::Int64(v));
+  }
+  EXPECT_EQ(lo->Final().AsInt64(), 2);
+  EXPECT_EQ(hi->Final().AsInt64(), 9);
+}
+
+TEST(AggregatesTest, MinMaxStrings) {
+  auto lo = Make("min");
+  lo->Update(Value::String("pear"));
+  lo->Update(Value::String("apple"));
+  EXPECT_EQ(lo->Final().AsString(), "apple");
+}
+
+TEST(AggregatesTest, Stddev) {
+  auto s = Make("stddev");
+  for (int v : {2, 4, 4, 4, 5, 5, 7, 9}) s->Update(Value::Int64(v));
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(s->Final().AsDouble(), 2.138, 0.001);
+}
+
+TEST(AggregatesTest, StddevNeedsTwo) {
+  auto s = Make("stddev");
+  EXPECT_TRUE(s->Final().is_null());
+  s->Update(Value::Int64(1));
+  EXPECT_TRUE(s->Final().is_null());
+  s->Update(Value::Int64(3));
+  EXPECT_FALSE(s->Final().is_null());
+}
+
+// --- Merge: the property shared slices rely on. ----------------------------
+
+struct MergeCase {
+  const char* name;
+  bool star;
+  bool distinct;
+};
+
+class MergeEqualsSequentialTest : public ::testing::TestWithParam<MergeCase> {
+};
+
+TEST_P(MergeEqualsSequentialTest, SplitMergeMatchesSequential) {
+  const MergeCase& c = GetParam();
+  std::vector<Value> data;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 11 == 0) {
+      data.push_back(Value::Null());
+    } else {
+      data.push_back(Value::Int64((i * 37) % 13));
+    }
+  }
+  // Sequential reference.
+  auto all = Make(c.name, c.star, c.distinct);
+  for (const Value& v : data) all->Update(v);
+
+  // Split into 7 partials, then merge.
+  std::vector<AggStatePtr> parts;
+  for (int p = 0; p < 7; ++p) parts.push_back(Make(c.name, c.star, c.distinct));
+  for (size_t i = 0; i < data.size(); ++i) {
+    parts[i % 7]->Update(data[i]);
+  }
+  auto merged = Make(c.name, c.star, c.distinct);
+  for (const auto& part : parts) {
+    ASSERT_TRUE(merged->Merge(*part).ok());
+  }
+
+  Value expected = all->Final();
+  Value actual = merged->Final();
+  if (expected.is_null()) {
+    EXPECT_TRUE(actual.is_null());
+  } else if (expected.type() == DataType::kDouble) {
+    EXPECT_NEAR(actual.AsDouble(), expected.AsDouble(), 1e-9);
+  } else {
+    EXPECT_EQ(actual.Compare(expected), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, MergeEqualsSequentialTest,
+    ::testing::Values(MergeCase{"count", true, false},
+                      MergeCase{"count", false, false},
+                      MergeCase{"count", false, true},
+                      MergeCase{"sum", false, false},
+                      MergeCase{"avg", false, false},
+                      MergeCase{"min", false, false},
+                      MergeCase{"max", false, false},
+                      MergeCase{"stddev", false, false}),
+    [](const ::testing::TestParamInfo<MergeCase>& info) {
+      std::string n = info.param.name;
+      if (info.param.star) n += "_star";
+      if (info.param.distinct) n += "_distinct";
+      return n;
+    });
+
+TEST(AggregatesTest, CloneIsIndependent) {
+  auto s = Make("sum");
+  s->Update(Value::Int64(5));
+  auto c = s->Clone();
+  c->Update(Value::Int64(10));
+  EXPECT_EQ(s->Final().AsInt64(), 5);
+  EXPECT_EQ(c->Final().AsInt64(), 15);
+}
+
+TEST(AggregatesTest, TypeInference) {
+  EXPECT_EQ(*InferAggregateType("count", true, DataType::kNull),
+            DataType::kInt64);
+  EXPECT_EQ(*InferAggregateType("avg", false, DataType::kInt64),
+            DataType::kDouble);
+  EXPECT_EQ(*InferAggregateType("sum", false, DataType::kDouble),
+            DataType::kDouble);
+  EXPECT_EQ(*InferAggregateType("min", false, DataType::kString),
+            DataType::kString);
+  EXPECT_FALSE(InferAggregateType("sum", true, DataType::kNull).ok());
+}
+
+TEST(AggregatesTest, IsAggregateFunction) {
+  EXPECT_TRUE(IsAggregateFunction("count"));
+  EXPECT_TRUE(IsAggregateFunction("stddev"));
+  EXPECT_FALSE(IsAggregateFunction("lower"));
+  EXPECT_FALSE(IsAggregateFunction("cq_close"));
+}
+
+}  // namespace
+}  // namespace streamrel::exec

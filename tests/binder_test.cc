@@ -1,0 +1,184 @@
+#include "exec/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace streamrel::exec {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest()
+      : schema_({Column("url", DataType::kString, "s"),
+                 Column("atime", DataType::kTimestamp, "s"),
+                 Column("bytes", DataType::kInt64, "s")}) {}
+
+  sql::ExprPtr Parse(const std::string& text) {
+    auto r = sql::ParseExpression(text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(*r) : nullptr;
+  }
+
+  Schema schema_;
+};
+
+TEST_F(BinderTest, ColumnResolutionAndTypes) {
+  ExprBinder binder(schema_);
+  auto bound = binder.BindScalar(*Parse("bytes + 1"));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ((*bound)->type, DataType::kInt64);
+}
+
+TEST_F(BinderTest, QualifiedColumn) {
+  ExprBinder binder(schema_);
+  EXPECT_TRUE(binder.BindScalar(*Parse("s.url")).ok());
+  auto wrong = binder.BindScalar(*Parse("t.url"));
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, ConstantFolding) {
+  ExprBinder binder(schema_);
+  auto bound = binder.BindScalar(*Parse("1 + 2 * 3"));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ((*bound)->kind, BoundExprKind::kLiteral);
+  EXPECT_EQ((*bound)->literal.AsInt64(), 7);
+}
+
+TEST_F(BinderTest, FoldingSkipsRuntimeErrors) {
+  ExprBinder binder(schema_);
+  // 1/0 must not fold into an error at bind time; it stays a runtime expr.
+  auto bound = binder.BindScalar(*Parse("1 / 0"));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ((*bound)->kind, BoundExprKind::kBinary);
+}
+
+TEST_F(BinderTest, FoldingStopsAtColumns) {
+  ExprBinder binder(schema_);
+  auto bound = binder.BindScalar(*Parse("bytes + (1 + 2)"));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ((*bound)->kind, BoundExprKind::kBinary);
+  EXPECT_EQ((*bound)->children[1]->kind, BoundExprKind::kLiteral);
+}
+
+TEST_F(BinderTest, ScalarRejectsAggregates) {
+  ExprBinder binder(schema_);
+  auto r = binder.BindScalar(*Parse("count(*) + 1"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, TypeMismatchIsBindError) {
+  ExprBinder binder(schema_);
+  auto r = binder.BindScalar(*Parse("url + bytes"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, AggregateModeSlots) {
+  ExprBinder binder(schema_);
+  auto group = Parse("url");
+  ASSERT_TRUE(binder.EnterAggregateMode({group.get()}).ok());
+
+  // `url` maps to key slot 0.
+  auto key_ref = binder.BindProjection(*Parse("url"));
+  ASSERT_TRUE(key_ref.ok());
+  EXPECT_EQ((*key_ref)->kind, BoundExprKind::kColumn);
+  EXPECT_EQ((*key_ref)->column_index, 0u);
+
+  // count(*) maps to the first aggregate slot (index 1).
+  auto agg_ref = binder.BindProjection(*Parse("count(*)"));
+  ASSERT_TRUE(agg_ref.ok());
+  EXPECT_EQ((*agg_ref)->column_index, 1u);
+  EXPECT_EQ(binder.agg_calls().size(), 1u);
+
+  // A second identical count(*) reuses the slot.
+  auto again = binder.BindProjection(*Parse("count(*)"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->column_index, 1u);
+  EXPECT_EQ(binder.agg_calls().size(), 1u);
+
+  // A different aggregate appends.
+  auto sum_ref = binder.BindProjection(*Parse("sum(bytes)"));
+  ASSERT_TRUE(sum_ref.ok());
+  EXPECT_EQ((*sum_ref)->column_index, 2u);
+  EXPECT_EQ(binder.agg_calls().size(), 2u);
+}
+
+TEST_F(BinderTest, NonGroupedColumnRejected) {
+  ExprBinder binder(schema_);
+  auto group = Parse("url");
+  ASSERT_TRUE(binder.EnterAggregateMode({group.get()}).ok());
+  auto r = binder.BindProjection(*Parse("atime"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(BinderTest, ExpressionOverAggregates) {
+  ExprBinder binder(schema_);
+  ASSERT_TRUE(binder.EnterAggregateMode({}).ok());
+  auto r = binder.BindProjection(*Parse("sum(bytes) / count(*)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(binder.agg_calls().size(), 2u);
+  EXPECT_EQ((*r)->kind, BoundExprKind::kBinary);
+}
+
+TEST_F(BinderTest, GroupExprSubtreeMatching) {
+  ExprBinder binder(schema_);
+  auto group = Parse("bytes % 10");
+  ASSERT_TRUE(binder.EnterAggregateMode({group.get()}).ok());
+  // The identical expression text maps to the key slot...
+  auto r = binder.BindProjection(*Parse("bytes % 10"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->column_index, 0u);
+  // ...and it can be nested inside a bigger expression.
+  auto nested = binder.BindProjection(*Parse("(bytes % 10) * 2"));
+  ASSERT_TRUE(nested.ok());
+}
+
+TEST_F(BinderTest, AggregateInGroupByRejected) {
+  ExprBinder binder(schema_);
+  auto group = Parse("count(*)");
+  EXPECT_FALSE(binder.EnterAggregateMode({group.get()}).ok());
+}
+
+TEST_F(BinderTest, PostAggregateSchema) {
+  ExprBinder binder(schema_);
+  auto group = Parse("url");
+  ASSERT_TRUE(binder.EnterAggregateMode({group.get()}).ok());
+  ASSERT_TRUE(binder.BindProjection(*Parse("count(*)")).ok());
+  Schema post = binder.PostAggregateSchema();
+  ASSERT_EQ(post.num_columns(), 2u);
+  EXPECT_EQ(post.column(0).name, "url");
+  EXPECT_EQ(post.column(0).type, DataType::kString);
+  EXPECT_EQ(post.column(1).name, "count(*)");
+  EXPECT_EQ(post.column(1).type, DataType::kInt64);
+}
+
+TEST_F(BinderTest, ContainsAggregate) {
+  EXPECT_TRUE(ExprBinder::ContainsAggregate(*Parse("count(*)")));
+  EXPECT_TRUE(ExprBinder::ContainsAggregate(*Parse("1 + sum(x)")));
+  EXPECT_FALSE(ExprBinder::ContainsAggregate(*Parse("lower(url)")));
+}
+
+TEST_F(BinderTest, CqCloseBindsAsTimestamp) {
+  ExprBinder binder(schema_);
+  auto r = binder.BindScalar(*Parse("cq_close(*)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, BoundExprKind::kCqClose);
+  EXPECT_EQ((*r)->type, DataType::kTimestamp);
+  // Arithmetic over it types correctly (Example 5's c.stime - interval).
+  auto arith = binder.BindScalar(*Parse("cq_close(*) - '1 week'::interval"));
+  ASSERT_TRUE(arith.ok());
+  EXPECT_EQ((*arith)->type, DataType::kTimestamp);
+}
+
+TEST_F(BinderTest, AggregateArityChecked) {
+  ExprBinder binder(schema_);
+  ASSERT_TRUE(binder.EnterAggregateMode({}).ok());
+  EXPECT_FALSE(binder.BindProjection(*Parse("sum(bytes, atime)")).ok());
+  EXPECT_FALSE(binder.BindProjection(*Parse("sum(*)")).ok());
+}
+
+}  // namespace
+}  // namespace streamrel::exec

@@ -1,0 +1,301 @@
+#include "stream/continuous_query.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "test_util.h"
+
+namespace streamrel::stream {
+namespace {
+
+constexpr int64_t kSec = kMicrosPerSecond;
+constexpr int64_t kMin = kMicrosPerMinute;
+
+/// Fixture: a url_stream plus helpers to drive it and capture CQ output.
+class ContinuousQueryTest : public ::testing::Test {
+ protected:
+  ContinuousQueryTest() {
+    MustExecute(&db_,
+                "CREATE STREAM url_stream (url varchar, "
+                "atime timestamp CQTIME USER, bytes bigint)");
+  }
+
+  ContinuousQuery* MustCreateCq(const std::string& name,
+                                const std::string& sql,
+                                bool allow_shared = true) {
+    auto r = db_.CreateContinuousQuery(name, sql, allow_shared);
+    EXPECT_TRUE(r.ok()) << sql << "\n -> " << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  void Send(const std::string& url, int64_t ts, int64_t bytes = 100) {
+    ASSERT_TRUE(db_.Ingest("url_stream",
+                           {Row{Value::String(url), Value::Timestamp(ts),
+                                Value::Int64(bytes)}})
+                    .ok());
+  }
+
+  engine::Database db_;
+  CqCapture capture_;
+};
+
+TEST_F(ContinuousQueryTest, SimpleAggregateUsesSharedPath) {
+  ContinuousQuery* cq = MustCreateCq(
+      "counts",
+      "SELECT url, count(*) FROM url_stream <VISIBLE '1 minute'> GROUP BY "
+      "url");
+  ASSERT_NE(cq, nullptr);
+  EXPECT_TRUE(cq->is_shared());
+  cq->AddCallback(capture_.Callback());
+
+  Send("/a", 10 * kSec);
+  Send("/a", 20 * kSec);
+  Send("/b", 30 * kSec);
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", kMin).ok());
+
+  ASSERT_EQ(capture_.batches.size(), 1u);
+  EXPECT_EQ(capture_.batches[0].close, kMin);
+  EXPECT_EQ(capture_.batches[0].rows.size(), 2u);
+}
+
+TEST_F(ContinuousQueryTest, GenericPathWhenSharedDisabled) {
+  ContinuousQuery* cq = MustCreateCq(
+      "counts_generic",
+      "SELECT url, count(*) FROM url_stream <VISIBLE '1 minute'> GROUP BY "
+      "url",
+      /*allow_shared=*/false);
+  ASSERT_NE(cq, nullptr);
+  EXPECT_FALSE(cq->is_shared());
+}
+
+TEST_F(ContinuousQueryTest, SharedAndGenericAgree) {
+  const std::string sql =
+      "SELECT url, count(*) AS c, sum(bytes) AS s FROM "
+      "url_stream <VISIBLE '2 minutes' ADVANCE '1 minute'> "
+      "GROUP BY url ORDER BY c DESC, url";
+  ContinuousQuery* shared = MustCreateCq("shared", sql, true);
+  ContinuousQuery* generic = MustCreateCq("generic", sql, false);
+  ASSERT_TRUE(shared->is_shared());
+  ASSERT_FALSE(generic->is_shared());
+  CqCapture cap_shared, cap_generic;
+  shared->AddCallback(cap_shared.Callback());
+  generic->AddCallback(cap_generic.Callback());
+
+  int64_t ts = 0;
+  const char* urls[] = {"/a", "/b", "/c", "/a", "/b", "/a"};
+  for (int i = 0; i < 240; ++i) {
+    ts += 997000;  // ~1s, deliberately not aligned
+    Send(urls[i % 6], ts, (i * 13) % 100);
+  }
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", ts + 2 * kMin).ok());
+
+  ASSERT_EQ(cap_shared.batches.size(), cap_generic.batches.size());
+  for (size_t i = 0; i < cap_shared.batches.size(); ++i) {
+    EXPECT_EQ(cap_shared.batches[i].close, cap_generic.batches[i].close);
+    ASSERT_EQ(cap_shared.batches[i].rows.size(),
+              cap_generic.batches[i].rows.size())
+        << "window " << i;
+    for (size_t j = 0; j < cap_shared.batches[i].rows.size(); ++j) {
+      EXPECT_EQ(RowToString(cap_shared.batches[i].rows[j]),
+                RowToString(cap_generic.batches[i].rows[j]));
+    }
+  }
+}
+
+TEST_F(ContinuousQueryTest, TopKWithOrderLimit) {
+  ContinuousQuery* cq = MustCreateCq(
+      "topk",
+      "SELECT url, count(*) url_count FROM url_stream <VISIBLE '1 minute'> "
+      "GROUP BY url ORDER BY url_count DESC LIMIT 2");
+  cq->AddCallback(capture_.Callback());
+  for (int i = 0; i < 5; ++i) Send("/hot", (i + 1) * kSec);
+  for (int i = 0; i < 3; ++i) Send("/warm", (10 + i) * kSec);
+  Send("/cold", 20 * kSec);
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", kMin).ok());
+  ASSERT_EQ(capture_.batches.size(), 1u);
+  const auto& rows = capture_.batches[0].rows;
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsString(), "/hot");
+  EXPECT_EQ(rows[0][1].AsInt64(), 5);
+  EXPECT_EQ(rows[1][0].AsString(), "/warm");
+}
+
+TEST_F(ContinuousQueryTest, HavingFilter) {
+  ContinuousQuery* cq = MustCreateCq(
+      "busy",
+      "SELECT url, count(*) FROM url_stream <VISIBLE '1 minute'> "
+      "GROUP BY url HAVING count(*) >= 2");
+  cq->AddCallback(capture_.Callback());
+  Send("/a", 1 * kSec);
+  Send("/a", 2 * kSec);
+  Send("/b", 3 * kSec);
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", kMin).ok());
+  ASSERT_EQ(capture_.batches.size(), 1u);
+  ASSERT_EQ(capture_.batches[0].rows.size(), 1u);
+  EXPECT_EQ(capture_.batches[0].rows[0][0].AsString(), "/a");
+}
+
+TEST_F(ContinuousQueryTest, WhereFilterPreAggregation) {
+  ContinuousQuery* cq = MustCreateCq(
+      "big_only",
+      "SELECT count(*) FROM url_stream <VISIBLE '1 minute'> "
+      "WHERE bytes > 500");
+  cq->AddCallback(capture_.Callback());
+  Send("/a", 1 * kSec, 1000);
+  Send("/a", 2 * kSec, 10);
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", kMin).ok());
+  ASSERT_EQ(capture_.batches.size(), 1u);
+  EXPECT_EQ(capture_.batches[0].rows[0][0].AsInt64(), 1);
+}
+
+TEST_F(ContinuousQueryTest, CqCloseColumn) {
+  ContinuousQuery* cq = MustCreateCq(
+      "with_close",
+      "SELECT count(*), cq_close(*) FROM url_stream <VISIBLE '1 minute'>");
+  cq->AddCallback(capture_.Callback());
+  Send("/a", 1 * kSec);
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", 2 * kMin).ok());
+  ASSERT_EQ(capture_.batches.size(), 2u);
+  EXPECT_EQ(capture_.batches[0].rows[0][1].AsTimestampMicros(), kMin);
+  EXPECT_EQ(capture_.batches[1].rows[0][1].AsTimestampMicros(), 2 * kMin);
+  // Empty window still emits the scalar aggregate row with count 0.
+  EXPECT_EQ(capture_.batches[1].rows[0][0].AsInt64(), 0);
+}
+
+TEST_F(ContinuousQueryTest, NonAggregateCqIsGeneric) {
+  ContinuousQuery* cq = MustCreateCq(
+      "raw_pass",
+      "SELECT url, bytes FROM url_stream <VISIBLE '1 minute'> "
+      "WHERE bytes > 50");
+  EXPECT_FALSE(cq->is_shared());
+  cq->AddCallback(capture_.Callback());
+  Send("/a", 1 * kSec, 100);
+  Send("/b", 2 * kSec, 10);
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", kMin).ok());
+  ASSERT_EQ(capture_.batches.size(), 1u);
+  ASSERT_EQ(capture_.batches[0].rows.size(), 1u);
+  EXPECT_EQ(capture_.batches[0].rows[0][0].AsString(), "/a");
+}
+
+TEST_F(ContinuousQueryTest, RowWindowCqIsGeneric) {
+  ContinuousQuery* cq = MustCreateCq(
+      "per_100",
+      "SELECT count(*) FROM url_stream <VISIBLE 4 ROWS ADVANCE 4 ROWS>");
+  EXPECT_FALSE(cq->is_shared());
+  cq->AddCallback(capture_.Callback());
+  for (int i = 1; i <= 8; ++i) Send("/a", i * kSec);
+  ASSERT_EQ(capture_.batches.size(), 2u);
+  EXPECT_EQ(capture_.batches[0].rows[0][0].AsInt64(), 4);
+}
+
+TEST_F(ContinuousQueryTest, SnapshotQueryRejected) {
+  MustExecute(&db_, "CREATE TABLE t (a bigint)");
+  auto r = db_.CreateContinuousQuery("nope", "SELECT a FROM t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ContinuousQueryTest, EmitWatermarkSuppressesDelivery) {
+  ContinuousQuery* cq = MustCreateCq(
+      "suppressed",
+      "SELECT count(*) FROM url_stream <VISIBLE '1 minute'>");
+  cq->AddCallback(capture_.Callback());
+  cq->SetEmitWatermark(2 * kMin);
+  Send("/a", 1 * kSec);
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", 3 * kMin).ok());
+  // Windows at 1min and 2min evaluated but suppressed; only 3min delivered.
+  ASSERT_EQ(capture_.batches.size(), 1u);
+  EXPECT_EQ(capture_.batches[0].close, 3 * kMin);
+  EXPECT_EQ(cq->windows_evaluated(), 3);
+}
+
+TEST_F(ContinuousQueryTest, SharingAcrossCqs) {
+  ContinuousQuery* a = MustCreateCq(
+      "m1",
+      "SELECT url, count(*) FROM url_stream <VISIBLE '1 minute'> GROUP BY "
+      "url");
+  ContinuousQuery* b = MustCreateCq(
+      "m2",
+      "SELECT url, sum(bytes), count(*) FROM url_stream "
+      "<VISIBLE '5 minutes' ADVANCE '1 minute'> GROUP BY url");
+  ASSERT_TRUE(a->is_shared());
+  ASSERT_TRUE(b->is_shared());
+  // Same (stream, slice=1min, filter, group) signature: one pipeline.
+  EXPECT_EQ(db_.runtime(), db_.runtime());  // both registered in runtime
+  CqCapture cap_a, cap_b;
+  a->AddCallback(cap_a.Callback());
+  b->AddCallback(cap_b.Callback());
+  for (int m = 0; m < 6; ++m) {
+    Send("/x", m * kMin + kSec, 10);
+  }
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", 6 * kMin).ok());
+  ASSERT_EQ(cap_a.batches.size(), 6u);
+  ASSERT_EQ(cap_b.batches.size(), 6u);
+  // a sees 1 row/min; b's 5-minute window at close=6min covers minutes 1-5.
+  EXPECT_EQ(cap_a.batches[5].rows[0][1].AsInt64(), 1);
+  EXPECT_EQ(cap_b.batches[5].rows[0][2].AsInt64(), 5);
+  EXPECT_EQ(cap_b.batches[5].rows[0][1].AsInt64(), 50);
+}
+
+TEST_F(ContinuousQueryTest, OrderByExpressionOverAggregates) {
+  // ORDER BY an expression combining aggregates (avg bytes per hit) —
+  // exercises the shared path's post-aggregation sort keys.
+  ContinuousQuery* cq = MustCreateCq(
+      "rate",
+      "SELECT url, sum(bytes) AS b, count(*) AS c FROM url_stream "
+      "<VISIBLE '1 minute'> GROUP BY url ORDER BY sum(bytes) / count(*) "
+      "DESC");
+  ASSERT_TRUE(cq->is_shared());
+  cq->AddCallback(capture_.Callback());
+  Send("/low", 1 * kSec, 10);
+  Send("/low", 2 * kSec, 10);
+  Send("/high", 3 * kSec, 1000);
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", kMin).ok());
+  ASSERT_EQ(capture_.batches.size(), 1u);
+  ASSERT_EQ(capture_.batches[0].rows.size(), 2u);
+  EXPECT_EQ(capture_.batches[0].rows[0][0].AsString(), "/high");
+}
+
+TEST_F(ContinuousQueryTest, DistinctCqUsesGenericPath) {
+  ContinuousQuery* cq = MustCreateCq(
+      "uniq",
+      "SELECT DISTINCT url FROM url_stream <VISIBLE '1 minute'>");
+  EXPECT_FALSE(cq->is_shared());
+  cq->AddCallback(capture_.Callback());
+  Send("/a", 1 * kSec);
+  Send("/a", 2 * kSec);
+  Send("/b", 3 * kSec);
+  ASSERT_TRUE(db_.AdvanceTime("url_stream", kMin).ok());
+  ASSERT_EQ(capture_.batches[0].rows.size(), 2u);
+}
+
+TEST_F(ContinuousQueryTest, SumOfIntervalsAggregates) {
+  // The value system's interval arithmetic flows through sum().
+  MustExecute(&db_,
+              "CREATE STREAM spans (d interval, ts timestamp CQTIME USER)");
+  auto cq = db_.CreateContinuousQuery(
+      "total_time", "SELECT sum(d) FROM spans <VISIBLE '1 minute'>");
+  ASSERT_TRUE(cq.ok());
+  (*cq)->AddCallback(capture_.Callback());
+  ASSERT_TRUE(db_.Ingest("spans", {Row{Value::Interval(30 * kSec),
+                                       Value::Timestamp(kSec)},
+                                   Row{Value::Interval(45 * kSec),
+                                       Value::Timestamp(2 * kSec)}})
+                  .ok());
+  ASSERT_TRUE(db_.AdvanceTime("spans", kMin).ok());
+  ASSERT_EQ(capture_.batches.size(), 1u);
+  EXPECT_EQ(capture_.batches[0].rows[0][0].AsIntervalMicros(), 75 * kSec);
+}
+
+TEST_F(ContinuousQueryTest, OutputSchemaNamed) {
+  ContinuousQuery* cq = MustCreateCq(
+      "named",
+      "SELECT url, count(*) AS hits FROM url_stream <VISIBLE '1 minute'> "
+      "GROUP BY url");
+  ASSERT_EQ(cq->output_schema().num_columns(), 2u);
+  EXPECT_EQ(cq->output_schema().column(0).name, "url");
+  EXPECT_EQ(cq->output_schema().column(1).name, "hits");
+}
+
+}  // namespace
+}  // namespace streamrel::stream

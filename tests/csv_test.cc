@@ -1,0 +1,155 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace streamrel::csv {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Column("name", DataType::kString),
+                 Column("n", DataType::kInt64),
+                 Column("x", DataType::kDouble)});
+}
+
+TEST(CsvSplitTest, BasicRecords) {
+  auto r = SplitRecords("a,b,c\nd,e,f\n", ',');
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*r)[1], (std::vector<std::string>{"d", "e", "f"}));
+}
+
+TEST(CsvSplitTest, QuotedFields) {
+  auto r = SplitRecords("\"a,b\",\"say \"\"hi\"\"\",plain\n", ',');
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0][0], "a,b");
+  EXPECT_EQ((*r)[0][1], "say \"hi\"");
+  EXPECT_EQ((*r)[0][2], "plain");
+}
+
+TEST(CsvSplitTest, EmbeddedNewlineInQuotes) {
+  auto r = SplitRecords("\"line1\nline2\",x\n", ',');
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0][0], "line1\nline2");
+}
+
+TEST(CsvSplitTest, CrLfAndNoTrailingNewline) {
+  auto r = SplitRecords("a,b\r\nc,d", ',');
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[1][1], "d");
+}
+
+TEST(CsvSplitTest, EmptyFields) {
+  auto r = SplitRecords(",,\n", ',');
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)[0].size(), 3u);
+  EXPECT_EQ((*r)[0][0], "");
+}
+
+TEST(CsvSplitTest, UnterminatedQuoteErrors) {
+  EXPECT_FALSE(SplitRecords("\"oops", ',').ok());
+}
+
+TEST(CsvParseTest, TypedParsing) {
+  auto rows = ParseText("ann,42,2.5\nbob,-1,0.0\n", TestSchema());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsString(), "ann");
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 42);
+  EXPECT_DOUBLE_EQ((*rows)[0][2].AsDouble(), 2.5);
+}
+
+TEST(CsvParseTest, HeaderSkipping) {
+  Options options;
+  options.has_header = true;
+  auto rows = ParseText("name,n,x\nann,1,1.0\n", TestSchema(), options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(CsvParseTest, NullToken) {
+  Options options;
+  options.null_token = "NULL";
+  auto rows = ParseText("ann,NULL,1.0\n", TestSchema(), options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE((*rows)[0][1].is_null());
+}
+
+TEST(CsvParseTest, TimestampColumns) {
+  Schema schema({Column("ts", DataType::kTimestamp)});
+  auto rows = ParseText("2009-01-05 09:00:00\n", schema);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0].type(), DataType::kTimestamp);
+}
+
+TEST(CsvParseTest, BadFieldReportsRecordAndColumn) {
+  auto rows = ParseText("ann,not_a_number,1.0\n", TestSchema());
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("record 1"), std::string::npos);
+  EXPECT_NE(rows.status().message().find("column 2"), std::string::npos);
+}
+
+TEST(CsvParseTest, ArityMismatchErrors) {
+  EXPECT_FALSE(ParseText("just_one_field\n", TestSchema()).ok());
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  Options options;
+  options.delimiter = '\t';
+  auto rows = ParseText("ann\t1\t1.5\n", TestSchema(), options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 1);
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  std::vector<Row> rows = {
+      {Value::String("has,comma"), Value::Int64(1), Value::Double(0.5)},
+      {Value::String("has \"quote\""), Value::Null(), Value::Double(-1)},
+  };
+  Options options;
+  options.null_token = "\\N";
+  std::string text = WriteText(TestSchema(), rows, options);
+  auto parsed = ParseText(text, TestSchema(), [&] {
+    Options o = options;
+    o.has_header = true;
+    return o;
+  }());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0][0].AsString(), "has,comma");
+  EXPECT_EQ((*parsed)[1][0].AsString(), "has \"quote\"");
+  EXPECT_TRUE((*parsed)[1][1].is_null());
+}
+
+TEST(CsvFileTest, ReadFileAndIngest) {
+  // Write a CSV, load it into a stream via the engine.
+  std::string path = ::testing::TempDir() + "/clicks.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("url,atime\n/a,1970-01-01 00:00:10\n/b,1970-01-01 00:00:20\n", f);
+  fclose(f);
+
+  engine::Database db;
+  MustExecute(&db, "CREATE STREAM s (url varchar, atime timestamp CQTIME "
+                   "USER)");
+  Options options;
+  options.has_header = true;
+  auto rows = ReadFile(path, db.catalog()->GetStream("s")->schema, options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_TRUE(db.Ingest("s", *rows).ok());
+  EXPECT_EQ(db.runtime()->rows_ingested(), 2);
+}
+
+TEST(CsvFileTest, MissingFileErrors) {
+  auto rows = ReadFile("/no/such/file.csv", TestSchema());
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace streamrel::csv

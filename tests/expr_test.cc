@@ -1,0 +1,227 @@
+#include "exec/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/binder.h"
+#include "sql/parser.h"
+
+namespace streamrel::exec {
+namespace {
+
+/// Parses and binds `text` against a fixed schema, then evaluates it on
+/// `row`.
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  ExprEvalTest()
+      : schema_({Column("i", DataType::kInt64),
+                 Column("d", DataType::kDouble),
+                 Column("s", DataType::kString),
+                 Column("b", DataType::kBool),
+                 Column("n", DataType::kInt64),
+                 Column("ts", DataType::kTimestamp)}) {}
+
+  Result<Value> Eval(const std::string& text, bool in_window = false) {
+    auto ast = sql::ParseExpression(text);
+    if (!ast.ok()) return ast.status();
+    ExprBinder binder(schema_);
+    auto bound = binder.BindScalar(**ast);
+    if (!bound.ok()) return bound.status();
+    EvalContext ctx;
+    ctx.has_window = in_window;
+    ctx.window_close_micros = 42'000'000;
+    Row row = {Value::Int64(10),      Value::Double(2.5),
+               Value::String("Mix"),  Value::Bool(true),
+               Value::Null(),         Value::Timestamp(1'000'000)};
+    return (*bound)->Eval(row, ctx);
+  }
+
+  Value MustEval(const std::string& text) {
+    auto r = Eval(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? *r : Value::Null();
+  }
+
+  Schema schema_;
+};
+
+TEST_F(ExprEvalTest, ColumnsAndLiterals) {
+  EXPECT_EQ(MustEval("i").AsInt64(), 10);
+  EXPECT_EQ(MustEval("42").AsInt64(), 42);
+  EXPECT_EQ(MustEval("'abc'").AsString(), "abc");
+  EXPECT_TRUE(MustEval("null").is_null());
+}
+
+TEST_F(ExprEvalTest, Arithmetic) {
+  EXPECT_EQ(MustEval("i + 5").AsInt64(), 15);
+  EXPECT_EQ(MustEval("i * 2 - 1").AsInt64(), 19);
+  EXPECT_DOUBLE_EQ(MustEval("d * 4").AsDouble(), 10.0);
+  EXPECT_EQ(MustEval("i / 3").AsInt64(), 3);
+  EXPECT_EQ(MustEval("i % 3").AsInt64(), 1);
+  EXPECT_EQ(MustEval("-i").AsInt64(), -10);
+}
+
+TEST_F(ExprEvalTest, DivisionByZeroIsRuntimeError) {
+  auto r = Eval("i / (i - 10)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExprEvalTest, Comparisons) {
+  EXPECT_TRUE(MustEval("i = 10").AsBool());
+  EXPECT_TRUE(MustEval("i <> 11").AsBool());
+  EXPECT_TRUE(MustEval("i < 11").AsBool());
+  EXPECT_TRUE(MustEval("i >= 10").AsBool());
+  EXPECT_FALSE(MustEval("i > 10").AsBool());
+  EXPECT_TRUE(MustEval("d < i").AsBool());  // cross-type numeric
+  EXPECT_TRUE(MustEval("s = 'Mix'").AsBool());
+}
+
+TEST_F(ExprEvalTest, ThreeValuedLogic) {
+  EXPECT_TRUE(MustEval("n = 1").is_null());
+  EXPECT_TRUE(MustEval("n + 1").is_null());
+  // false AND NULL = false; true OR NULL = true.
+  EXPECT_FALSE(MustEval("1 = 2 AND n = 1").AsBool());
+  EXPECT_TRUE(MustEval("1 = 1 OR n = 1").AsBool());
+  // true AND NULL = NULL; false OR NULL = NULL.
+  EXPECT_TRUE(MustEval("1 = 1 AND n = 1").is_null());
+  EXPECT_TRUE(MustEval("1 = 2 OR n = 1").is_null());
+  EXPECT_TRUE(MustEval("NOT (n = 1)").is_null());
+}
+
+TEST_F(ExprEvalTest, IsNull) {
+  EXPECT_TRUE(MustEval("n IS NULL").AsBool());
+  EXPECT_FALSE(MustEval("i IS NULL").AsBool());
+  EXPECT_TRUE(MustEval("i IS NOT NULL").AsBool());
+}
+
+TEST_F(ExprEvalTest, InList) {
+  EXPECT_TRUE(MustEval("i IN (5, 10, 15)").AsBool());
+  EXPECT_FALSE(MustEval("i IN (5, 15)").AsBool());
+  EXPECT_TRUE(MustEval("i NOT IN (5, 15)").AsBool());
+  // Unknown with NULL in list and no match.
+  EXPECT_TRUE(MustEval("i IN (5, n)").is_null());
+  // Match wins over NULL.
+  EXPECT_TRUE(MustEval("i IN (10, n)").AsBool());
+}
+
+TEST_F(ExprEvalTest, Between) {
+  EXPECT_TRUE(MustEval("i BETWEEN 5 AND 15").AsBool());
+  EXPECT_FALSE(MustEval("i BETWEEN 11 AND 15").AsBool());
+  EXPECT_TRUE(MustEval("i NOT BETWEEN 11 AND 15").AsBool());
+  EXPECT_TRUE(MustEval("i BETWEEN n AND 15").is_null());
+}
+
+TEST_F(ExprEvalTest, Like) {
+  EXPECT_TRUE(MustEval("s LIKE 'M%'").AsBool());
+  EXPECT_TRUE(MustEval("s LIKE '%ix'").AsBool());
+  EXPECT_TRUE(MustEval("s LIKE 'M_x'").AsBool());
+  EXPECT_FALSE(MustEval("s LIKE 'm%'").AsBool());  // case-sensitive
+  EXPECT_TRUE(MustEval("s NOT LIKE 'z%'").AsBool());
+}
+
+TEST_F(ExprEvalTest, CaseExpression) {
+  EXPECT_EQ(MustEval("CASE WHEN i > 5 THEN 'big' ELSE 'small' END").AsString(),
+            "big");
+  EXPECT_EQ(MustEval("CASE WHEN i > 50 THEN 'big' ELSE 'small' END")
+                .AsString(),
+            "small");
+  EXPECT_TRUE(MustEval("CASE WHEN i > 50 THEN 'big' END").is_null());
+  // First matching WHEN wins.
+  EXPECT_EQ(
+      MustEval("CASE WHEN i > 1 THEN 'a' WHEN i > 2 THEN 'b' END").AsString(),
+      "a");
+}
+
+TEST_F(ExprEvalTest, Cast) {
+  EXPECT_EQ(MustEval("CAST(d AS bigint)").AsInt64(), 2);
+  EXPECT_EQ(MustEval("CAST(i AS varchar)").AsString(), "10");
+  EXPECT_EQ(MustEval("'1 week'::interval").type(), DataType::kInterval);
+}
+
+TEST_F(ExprEvalTest, ScalarFunctions) {
+  EXPECT_EQ(MustEval("lower(s)").AsString(), "mix");
+  EXPECT_EQ(MustEval("upper(s)").AsString(), "MIX");
+  EXPECT_EQ(MustEval("length(s)").AsInt64(), 3);
+  EXPECT_EQ(MustEval("substr(s, 2)").AsString(), "ix");
+  EXPECT_EQ(MustEval("substr(s, 1, 2)").AsString(), "Mi");
+  EXPECT_EQ(MustEval("abs(-7)").AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(MustEval("round(2.567, 1)").AsDouble(), 2.6);
+  EXPECT_DOUBLE_EQ(MustEval("floor(d)").AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(MustEval("ceil(d)").AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(MustEval("sqrt(16)").AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(MustEval("power(2, 10)").AsDouble(), 1024.0);
+  EXPECT_EQ(MustEval("coalesce(n, i, 99)").AsInt64(), 10);
+  EXPECT_TRUE(MustEval("nullif(i, 10)").is_null());
+  EXPECT_EQ(MustEval("greatest(1, 5, 3)").AsInt64(), 5);
+  EXPECT_EQ(MustEval("least(4, 2, 9)").AsInt64(), 2);
+  EXPECT_EQ(MustEval("concat('a', 1, 'b')").AsString(), "a1b");
+}
+
+TEST_F(ExprEvalTest, DateTrunc) {
+  // ts = 1970-01-01 00:00:01.
+  auto r = MustEval("date_trunc('minute', ts)");
+  EXPECT_EQ(r.AsTimestampMicros(), 0);
+}
+
+TEST_F(ExprEvalTest, ConcatOperator) {
+  EXPECT_EQ(MustEval("s || '!'").AsString(), "Mix!");
+  EXPECT_TRUE(MustEval("s || n").is_null());
+}
+
+TEST_F(ExprEvalTest, CqCloseRequiresWindow) {
+  auto outside = Eval("cq_close(*)", /*in_window=*/false);
+  // Bare cq_close() (no args) binds; with a window ctx it works.
+  auto ast = sql::ParseExpression("cq_close()");
+  ASSERT_TRUE(ast.ok());
+  ExprBinder binder(schema_);
+  auto bound = binder.BindScalar(**ast);
+  ASSERT_TRUE(bound.ok());
+  EvalContext no_window;
+  Row row;
+  EXPECT_FALSE((*bound)->Eval(row, no_window).ok());
+  EvalContext windowed;
+  windowed.has_window = true;
+  windowed.window_close_micros = 1234;
+  auto v = (*bound)->Eval(row, windowed);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsTimestampMicros(), 1234);
+}
+
+TEST_F(ExprEvalTest, UnknownFunctionIsBindError) {
+  auto r = Eval("no_such_fn(i)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(ExprEvalTest, UnknownColumnIsBindError) {
+  auto r = Eval("zzz + 1");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(LikeMatchTest, Patterns) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%"));
+  EXPECT_FALSE(LikeMatch("hello", "h_lo"));
+  EXPECT_FALSE(LikeMatch("hello", ""));
+  EXPECT_TRUE(LikeMatch("a%b", "a%b"));  // % in text matches literally via %
+  EXPECT_TRUE(LikeMatch("abcabc", "%abc"));  // backtracking
+}
+
+TEST(PredicateTest, NullRejects) {
+  BoundExpr lit(BoundExprKind::kLiteral);
+  lit.literal = Value::Null();
+  EvalContext ctx;
+  Row row;
+  auto r = EvalPredicate(lit, row, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+}  // namespace
+}  // namespace streamrel::exec

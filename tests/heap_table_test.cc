@@ -1,0 +1,169 @@
+#include "storage/heap_table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace streamrel::storage {
+namespace {
+
+Schema TwoCol() {
+  return Schema({Column("id", DataType::kInt64),
+                 Column("name", DataType::kString)});
+}
+
+class HeapTableTest : public ::testing::Test {
+ protected:
+  HeapTableTest()
+      : disk_(std::make_shared<SimulatedDisk>()),
+        table_(TwoCol(), disk_, /*page_size=*/256) {}
+
+  TxnId CommittedInsert(int64_t id, const std::string& name) {
+    TxnId txn = txns_.Begin();
+    auto r = table_.Insert({Value::Int64(id), Value::String(name)}, txn);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(txns_.Commit(txn, id).ok());
+    return txn;
+  }
+
+  std::vector<Row> ScanAll(const Snapshot& snap, TxnId reader = kInvalidTxn) {
+    std::vector<Row> rows;
+    EXPECT_TRUE(table_
+                    .Scan(txns_, snap, reader,
+                          [&](RowId, const Row& row) {
+                            rows.push_back(row);
+                            return true;
+                          })
+                    .ok());
+    return rows;
+  }
+
+  std::shared_ptr<SimulatedDisk> disk_;
+  TransactionManager txns_;
+  HeapTable table_;
+};
+
+TEST_F(HeapTableTest, InsertAndScan) {
+  CommittedInsert(1, "a");
+  CommittedInsert(2, "b");
+  auto rows = ScanAll(txns_.CurrentSnapshot());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].AsString(), "a");
+  EXPECT_EQ(rows[1][1].AsString(), "b");
+}
+
+TEST_F(HeapTableTest, ArityMismatchRejected) {
+  TxnId txn = txns_.Begin();
+  EXPECT_FALSE(table_.Insert({Value::Int64(1)}, txn).ok());
+}
+
+TEST_F(HeapTableTest, UncommittedInvisible) {
+  TxnId txn = txns_.Begin();
+  ASSERT_TRUE(table_.Insert({Value::Int64(1), Value::String("x")}, txn).ok());
+  EXPECT_TRUE(ScanAll(txns_.CurrentSnapshot()).empty());
+  // ... but visible to itself.
+  EXPECT_EQ(ScanAll(txns_.CurrentSnapshot(), txn).size(), 1u);
+}
+
+TEST_F(HeapTableTest, AbortedStaysInvisible) {
+  TxnId txn = txns_.Begin();
+  ASSERT_TRUE(table_.Insert({Value::Int64(1), Value::String("x")}, txn).ok());
+  ASSERT_TRUE(txns_.Abort(txn).ok());
+  EXPECT_TRUE(ScanAll(txns_.CurrentSnapshot()).empty());
+}
+
+TEST_F(HeapTableTest, SnapshotIsolation) {
+  CommittedInsert(1, "old");
+  Snapshot before = txns_.CurrentSnapshot();
+  CommittedInsert(2, "new");
+  EXPECT_EQ(ScanAll(before).size(), 1u);
+  EXPECT_EQ(ScanAll(txns_.CurrentSnapshot()).size(), 2u);
+}
+
+TEST_F(HeapTableTest, DeleteHidesRow) {
+  CommittedInsert(1, "victim");
+  Snapshot before_delete = txns_.CurrentSnapshot();
+  TxnId deleter = txns_.Begin();
+  ASSERT_TRUE(table_.Delete(0, deleter).ok());
+  ASSERT_TRUE(txns_.Commit(deleter, 100).ok());
+  EXPECT_TRUE(ScanAll(txns_.CurrentSnapshot()).empty());
+  // Old snapshot still sees it (MVCC).
+  EXPECT_EQ(ScanAll(before_delete).size(), 1u);
+}
+
+TEST_F(HeapTableTest, DoubleDeleteRejected) {
+  CommittedInsert(1, "x");
+  TxnId d1 = txns_.Begin();
+  ASSERT_TRUE(table_.Delete(0, d1).ok());
+  TxnId d2 = txns_.Begin();
+  EXPECT_FALSE(table_.Delete(0, d2).ok());
+}
+
+TEST_F(HeapTableTest, GetRowByRowId) {
+  CommittedInsert(5, "five");
+  CommittedInsert(6, "six");
+  auto row = table_.GetRow(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt64(), 6);
+  EXPECT_FALSE(table_.GetRow(99).ok());
+}
+
+TEST_F(HeapTableTest, SpillsAcrossPages) {
+  // Page size is 256 bytes; these rows force several page flushes.
+  for (int i = 0; i < 100; ++i) {
+    CommittedInsert(i, "name-" + std::to_string(i) + std::string(20, 'x'));
+  }
+  EXPECT_GT(disk_->stats().page_writes, 3);
+  auto rows = ScanAll(txns_.CurrentSnapshot());
+  ASSERT_EQ(rows.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rows[i][0].AsInt64(), i);
+  }
+}
+
+TEST_F(HeapTableTest, ColdScanPaysIo) {
+  for (int i = 0; i < 200; ++i) CommittedInsert(i, std::string(32, 'p'));
+  disk_->DropCache();
+  disk_->ResetStats();
+  ScanAll(txns_.CurrentSnapshot());
+  EXPECT_GT(disk_->stats().page_reads, 0);
+  EXPECT_GT(disk_->stats().simulated_io_micros, 0);
+}
+
+TEST_F(HeapTableTest, EarlyTerminationStopsScan) {
+  for (int i = 0; i < 10; ++i) CommittedInsert(i, "r");
+  int seen = 0;
+  ASSERT_TRUE(table_
+                  .Scan(txns_, txns_.CurrentSnapshot(), kInvalidTxn,
+                        [&](RowId, const Row&) { return ++seen < 3; })
+                  .ok());
+  EXPECT_EQ(seen, 3);
+}
+
+TEST_F(HeapTableTest, RowCountCountsAllVersions) {
+  CommittedInsert(1, "a");
+  TxnId d = txns_.Begin();
+  ASSERT_TRUE(table_.Delete(0, d).ok());
+  ASSERT_TRUE(txns_.Commit(d, 10).ok());
+  EXPECT_EQ(table_.row_count(), 1u);  // version still exists
+}
+
+TEST_F(HeapTableTest, TruncateResets) {
+  for (int i = 0; i < 50; ++i) CommittedInsert(i, std::string(32, 't'));
+  ASSERT_TRUE(table_.Truncate().ok());
+  EXPECT_EQ(table_.row_count(), 0u);
+  EXPECT_EQ(table_.byte_size(), 0);
+  EXPECT_TRUE(ScanAll(txns_.CurrentSnapshot()).empty());
+  // Table is usable after truncate.
+  CommittedInsert(1, "again");
+  EXPECT_EQ(ScanAll(txns_.CurrentSnapshot()).size(), 1u);
+}
+
+TEST_F(HeapTableTest, ByteSizeGrows) {
+  EXPECT_EQ(table_.byte_size(), 0);
+  CommittedInsert(1, "abc");
+  EXPECT_GT(table_.byte_size(), 0);
+}
+
+}  // namespace
+}  // namespace streamrel::storage

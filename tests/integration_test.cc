@@ -1,0 +1,315 @@
+// End-to-end scenarios reproducing the paper's narrative: the Section 4
+// network-security reporting story, a multi-metric dashboard sharing one
+// pass over the data, and the full Examples 1-5 pipeline.
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "test_util.h"
+
+namespace streamrel {
+namespace {
+
+constexpr int64_t kSec = kMicrosPerSecond;
+constexpr int64_t kMin = kMicrosPerMinute;
+
+TEST(IntegrationTest, NetworkSecurityReportingScenario) {
+  // Section 4: a periodic batch report replaced by a CQ + active table.
+  engine::Database db;
+  MustExecute(&db,
+              "CREATE STREAM conns (src_ip varchar, dst_port bigint, "
+              "bytes bigint, ts timestamp CQTIME USER)");
+  MustExecute(&db,
+              "CREATE STREAM port_traffic AS "
+              "SELECT dst_port, count(*) AS conns, sum(bytes) AS total, "
+              "cq_close(*) AS w "
+              "FROM conns <VISIBLE '1 minute'> GROUP BY dst_port");
+  MustExecute(&db,
+              "CREATE TABLE port_report (dst_port bigint, conns bigint, "
+              "total bigint, w timestamp)");
+  MustExecute(&db,
+              "CREATE CHANNEL report_ch FROM port_traffic INTO port_report");
+
+  // Two minutes of connections: port 22 probed heavily in minute 2.
+  std::vector<Row> batch;
+  for (int i = 0; i < 30; ++i) {
+    batch.push_back(Row{Value::String("10.0.0." + std::to_string(i % 5)),
+                        Value::Int64(i % 2 == 0 ? 80 : 443),
+                        Value::Int64(1000 + i),
+                        Value::Timestamp(i * kSec)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    batch.push_back(Row{Value::String("66.66.0.1"), Value::Int64(22),
+                        Value::Int64(64),
+                        Value::Timestamp(kMin + i * kSec)});
+  }
+  ASSERT_TRUE(db.Ingest("conns", batch).ok());
+  ASSERT_TRUE(db.AdvanceTime("conns", 2 * kMin).ok());
+
+  // The "report" is a plain SQL query over the active table.
+  auto report = MustExecute(
+      &db,
+      "SELECT dst_port, conns FROM port_report "
+      "WHERE w = timestamp '1970-01-01 00:02:00' ORDER BY conns DESC");
+  ASSERT_FALSE(report.rows.empty());
+  EXPECT_EQ(report.rows[0][0].AsInt64(), 22);
+  EXPECT_EQ(report.rows[0][1].AsInt64(), 40);
+}
+
+TEST(IntegrationTest, JellybeanDashboardManyMetricsOnePass) {
+  // Section 2.2: many metrics computed simultaneously as data arrives.
+  engine::Database db;
+  MustExecute(&db,
+              "CREATE STREAM hits (url varchar, status bigint, latency_ms "
+              "bigint, ts timestamp CQTIME USER)");
+
+  CqCapture volume, errors, latency, per_url;
+  auto mk = [&](const char* name, const std::string& sql, CqCapture* cap) {
+    auto cq = db.CreateContinuousQuery(name, sql);
+    ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+    (*cq)->AddCallback(cap->Callback());
+  };
+  mk("volume", "SELECT count(*) FROM hits <VISIBLE '1 minute'>", &volume);
+  mk("errors",
+     "SELECT count(*) FROM hits <VISIBLE '1 minute'> WHERE status >= 500",
+     &errors);
+  mk("latency",
+     "SELECT avg(latency_ms), max(latency_ms) FROM hits "
+     "<VISIBLE '1 minute'>",
+     &latency);
+  mk("per_url",
+     "SELECT url, count(*) FROM hits <VISIBLE '1 minute'> GROUP BY url",
+     &per_url);
+
+  std::vector<Row> batch;
+  for (int i = 0; i < 120; ++i) {
+    batch.push_back(Row{Value::String(i % 3 == 0 ? "/a" : "/b"),
+                        Value::Int64(i % 10 == 0 ? 500 : 200),
+                        Value::Int64(10 + i % 50),
+                        Value::Timestamp(i * 500 * kMicrosPerMilli)});
+  }
+  ASSERT_TRUE(db.Ingest("hits", batch).ok());
+  ASSERT_TRUE(db.AdvanceTime("hits", kMin).ok());
+
+  ASSERT_EQ(volume.batches.size(), 1u);
+  EXPECT_EQ(volume.batches[0].rows[0][0].AsInt64(), 120);
+  EXPECT_EQ(errors.batches[0].rows[0][0].AsInt64(), 12);
+  EXPECT_EQ(latency.batches[0].rows[0][1].AsInt64(), 59);
+  EXPECT_EQ(per_url.batches[0].rows.size(), 2u);
+}
+
+TEST(IntegrationTest, PaperExamples1Through5) {
+  engine::Database db;
+  // Example 1.
+  MustExecute(&db,
+              "CREATE STREAM url_stream (url varchar(1024), "
+              "atime timestamp CQTIME USER, client_ip varchar(50))");
+  // Example 2 (as a registered CQ).
+  auto top10 = db.CreateContinuousQuery(
+      "top10",
+      "SELECT url, count(*) url_count "
+      "FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> "
+      "GROUP by url ORDER by url_count desc LIMIT 10");
+  ASSERT_TRUE(top10.ok()) << top10.status().ToString();
+  // Example 3.
+  MustExecute(&db,
+              "CREATE STREAM urls_now as "
+              "SELECT url, count(*) as scnt, cq_close(*) "
+              "FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> "
+              "GROUP by url");
+  // Example 4.
+  MustExecute(&db,
+              "CREATE TABLE urls_archive (url varchar(1024), scnt integer, "
+              "stime timestamp);"
+              "CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive "
+              "APPEND");
+  // Example 5 (historical comparison; 1 minute back instead of 1 week to
+  // keep the test small — same shape).
+  auto compare = db.CreateContinuousQuery(
+      "compare",
+      "select c.scnt, h.scnt, c.stime from "
+      "(select sum(scnt) as scnt, cq_close(*) as stime "
+      " from urls_now <slices 1 windows>) c, urls_archive h "
+      "where c.stime - interval '1 minute' = h.stime and h.url = '/x'");
+  ASSERT_TRUE(compare.ok()) << compare.status().ToString();
+  CqCapture cap;
+  (*compare)->AddCallback(cap.Callback());
+
+  for (int m = 0; m < 3; ++m) {
+    std::vector<Row> batch;
+    for (int i = 0; i <= m; ++i) {
+      batch.push_back(Row{Value::String("/x"),
+                          Value::Timestamp(m * kMin + i * kSec + kSec),
+                          Value::String("1.2.3.4")});
+    }
+    ASSERT_TRUE(db.Ingest("url_stream", batch).ok());
+  }
+  ASSERT_TRUE(db.AdvanceTime("url_stream", 3 * kMin).ok());
+
+  // The archive accumulated per-window counts; the comparison CQ produced
+  // current-vs-previous rows from minute 2 on.
+  auto archived = MustExecute(&db, "SELECT count(*) FROM urls_archive");
+  EXPECT_GE(archived.rows[0][0].AsInt64(), 3);
+  ASSERT_GE(cap.batches.size(), 3u);
+  bool found_comparison = false;
+  for (const auto& batch : cap.batches) {
+    if (!batch.rows.empty()) found_comparison = true;
+  }
+  EXPECT_TRUE(found_comparison);
+}
+
+TEST(IntegrationTest, ReplaceChannelServesLatestDashboard) {
+  engine::Database db;
+  MustExecute(&db,
+              "CREATE STREAM s (v bigint, ts timestamp CQTIME USER);"
+              "CREATE STREAM latest AS SELECT count(*) AS c, sum(v) AS sv "
+              "FROM s <VISIBLE '1 minute'>;"
+              "CREATE TABLE dashboard (c bigint, sv bigint);"
+              "CREATE CHANNEL dash_ch FROM latest INTO dashboard REPLACE");
+  for (int m = 0; m < 3; ++m) {
+    std::vector<Row> batch;
+    for (int i = 0; i <= m; ++i) {
+      batch.push_back(
+          Row{Value::Int64(10), Value::Timestamp(m * kMin + i * kSec + 1)});
+    }
+    ASSERT_TRUE(db.Ingest("s", batch).ok());
+    ASSERT_TRUE(db.AdvanceTime("s", (m + 1) * kMin).ok());
+    auto now = MustExecute(&db, "SELECT c, sv FROM dashboard");
+    ASSERT_EQ(now.rows.size(), 1u);
+    EXPECT_EQ(now.rows[0][0].AsInt64(), m + 1);
+    EXPECT_EQ(now.rows[0][1].AsInt64(), 10 * (m + 1));
+  }
+}
+
+TEST(IntegrationTest, AdHocQueryOverComputedMetricsNotRawData) {
+  // Section 1.4: ad hoc analysis runs on previously computed metrics.
+  engine::Database db;
+  MustExecute(&db,
+              "CREATE STREAM s (url varchar, ts timestamp CQTIME USER);"
+              "CREATE STREAM per_min AS SELECT url, count(*) AS c, "
+              "cq_close(*) AS w FROM s <VISIBLE '1 minute'> GROUP BY url;"
+              "CREATE TABLE metrics (url varchar, c bigint, w timestamp);"
+              "CREATE CHANNEL ch FROM per_min INTO metrics");
+  for (int m = 0; m < 5; ++m) {
+    ASSERT_TRUE(db.Ingest("s", {Row{Value::String(m % 2 == 0 ? "/a" : "/b"),
+                                    Value::Timestamp(m * kMin + kSec)}})
+                    .ok());
+  }
+  ASSERT_TRUE(db.AdvanceTime("s", 5 * kMin).ok());
+
+  // Ad hoc: which minutes had /a traffic above its average?
+  auto adhoc = MustExecute(
+      &db,
+      "SELECT m.w FROM metrics m, "
+      "(SELECT avg(c) AS mean FROM metrics WHERE url = '/a') stats "
+      "WHERE m.url = '/a' AND m.c > stats.mean - 1 ORDER BY m.w");
+  EXPECT_EQ(adhoc.rows.size(), 3u);
+}
+
+TEST(IntegrationTest, ThreeLevelDerivedStreamCascade) {
+  // raw events -> per-minute counts -> per-5-minute rollups -> hourly-ish
+  // (per-10-minute) trend, each level an always-on derived stream.
+  engine::Database db;
+  MustExecute(&db,
+              "CREATE STREAM events (v bigint, ts timestamp CQTIME USER);"
+              "CREATE STREAM per_min AS SELECT count(*) AS c FROM events "
+              "<VISIBLE '1 minute'>;"
+              "CREATE STREAM per_5min AS SELECT sum(c) AS c FROM per_min "
+              "<VISIBLE '5 minutes'>;"
+              "CREATE STREAM per_10min AS SELECT sum(c) AS c FROM per_5min "
+              "<VISIBLE '10 minutes'>");
+  CqCapture top;
+  ASSERT_TRUE(db.runtime()->SubscribeStream("per_10min", top.Callback()).ok());
+
+  // 2 rows per minute for 20 minutes.
+  for (int m = 0; m < 20; ++m) {
+    ASSERT_TRUE(db.Ingest("events",
+                          {Row{Value::Int64(m),
+                               Value::Timestamp(m * kMin + 10 * kSec)},
+                           Row{Value::Int64(m),
+                               Value::Timestamp(m * kMin + 40 * kSec)}})
+                    .ok());
+  }
+  ASSERT_TRUE(db.AdvanceTime("events", 20 * kMin).ok());
+
+  ASSERT_EQ(top.batches.size(), 2u);
+  EXPECT_EQ(top.batches[0].rows[0][0].AsInt64(), 20);  // minutes 0-9
+  EXPECT_EQ(top.batches[1].rows[0][0].AsInt64(), 20);  // minutes 10-19
+}
+
+TEST(IntegrationTest, SystemTablesTrackThePipeline) {
+  engine::Database db;
+  MustExecute(&db,
+              "CREATE STREAM s (v bigint, ts timestamp CQTIME USER);"
+              "CREATE STREAM agg AS SELECT count(*) AS c FROM s "
+              "<VISIBLE '1 minute'>;"
+              "CREATE TABLE sink (c bigint);"
+              "CREATE CHANNEL ch FROM agg INTO sink");
+  for (int m = 0; m < 3; ++m) {
+    ASSERT_TRUE(db.Ingest("s", {Row{Value::Int64(m),
+                                    Value::Timestamp(m * kMin + kSec)}})
+                    .ok());
+  }
+  ASSERT_TRUE(db.AdvanceTime("s", 3 * kMin).ok());
+
+  // Introspect the whole pipeline through SQL.
+  auto cq_stats = MustExecute(
+      &db, "SELECT windows_evaluated, rows_emitted FROM sys_cqs");
+  ASSERT_EQ(cq_stats.rows.size(), 1u);  // the derived stream's CQ
+  EXPECT_EQ(cq_stats.rows[0][0].AsInt64(), 3);
+  auto channel_stats = MustExecute(
+      &db, "SELECT rows_persisted FROM sys_channels WHERE name = 'ch'");
+  EXPECT_EQ(channel_stats.rows[0][0].AsInt64(), 3);
+  auto stream_kinds = MustExecute(
+      &db, "SELECT count(*) FROM sys_streams WHERE kind = 'derived'");
+  EXPECT_EQ(stream_kinds.rows[0][0].AsInt64(), 1);
+}
+
+TEST(IntegrationTest, ReplaceDashboardWithVacuumMaintenance) {
+  engine::Database db;
+  MustExecute(&db,
+              "CREATE STREAM s (k bigint, ts timestamp CQTIME USER);"
+              "CREATE STREAM agg AS SELECT k, count(*) AS c FROM s "
+              "<VISIBLE '1 minute'> GROUP BY k;"
+              "CREATE TABLE board (k bigint, c bigint);"
+              "CREATE CHANNEL ch FROM agg INTO board REPLACE");
+  for (int m = 0; m < 20; ++m) {
+    ASSERT_TRUE(db.Ingest("s", {Row{Value::Int64(m % 3),
+                                    Value::Timestamp(m * kMin + kSec)}})
+                    .ok());
+    ASSERT_TRUE(db.AdvanceTime("s", (m + 1) * kMin).ok());
+    if (m % 7 == 6) {
+      MustExecute(&db, "VACUUM board");  // periodic maintenance mid-flight
+    }
+  }
+  // The dashboard still shows exactly the last window.
+  auto board = MustExecute(&db, "SELECT k, c FROM board");
+  ASSERT_EQ(board.rows.size(), 1u);
+  EXPECT_EQ(board.rows[0][0].AsInt64(), 19 % 3);
+  EXPECT_EQ(board.rows[0][1].AsInt64(), 1);
+}
+
+TEST(IntegrationTest, LongRunStaysBounded) {
+  // An hour of data at 1 row/sec through a sliding window: the engine's
+  // buffered state must stay bounded by eviction (not grow with history).
+  engine::Database db;
+  MustExecute(&db, "CREATE STREAM s (v bigint, ts timestamp CQTIME USER)");
+  auto cq = db.CreateContinuousQuery(
+      "c",
+      "SELECT count(*) FROM s <VISIBLE '2 minutes' ADVANCE '1 minute'>");
+  ASSERT_TRUE(cq.ok());
+  CqCapture cap;
+  (*cq)->AddCallback(cap.Callback());
+  for (int i = 0; i < 3600; ++i) {
+    ASSERT_TRUE(
+        db.Ingest("s", {Row{Value::Int64(i), Value::Timestamp(i * kSec)}})
+            .ok());
+  }
+  ASSERT_TRUE(db.AdvanceTime("s", 3600 * kSec).ok());
+  ASSERT_EQ(cap.batches.size(), 60u);
+  // Every full 2-minute window holds 120 rows.
+  EXPECT_EQ(cap.batches[30].rows[0][0].AsInt64(), 120);
+}
+
+}  // namespace
+}  // namespace streamrel

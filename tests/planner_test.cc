@@ -1,0 +1,232 @@
+#include "exec/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace streamrel::exec {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() {
+    MustExecute(&db_, "CREATE TABLE users (id bigint, name varchar, age bigint)");
+    MustExecute(&db_, "CREATE TABLE orders (uid bigint, amount double)");
+    MustExecute(&db_,
+                "INSERT INTO users VALUES (1, 'ann', 30), (2, 'bob', 25), "
+                "(3, 'cat', 35)");
+    MustExecute(&db_,
+                "INSERT INTO orders VALUES (1, 10.0), (1, 20.0), (2, 5.0)");
+    MustExecute(&db_, "CREATE STREAM events (v bigint, ts timestamp CQTIME "
+                      "USER)");
+  }
+
+  PlannedQuery Plan(const std::string& sql) {
+    auto stmt = sql::ParseSingleStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Planner planner(db_.catalog());
+    auto plan =
+        planner.PlanSelect(static_cast<const sql::SelectStmt&>(**stmt));
+    EXPECT_TRUE(plan.ok()) << sql << "\n -> " << plan.status().ToString();
+    return plan.ok() ? plan.TakeValue() : PlannedQuery{};
+  }
+
+  Status PlanError(const std::string& sql) {
+    auto stmt = sql::ParseSingleStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Planner planner(db_.catalog());
+    auto plan =
+        planner.PlanSelect(static_cast<const sql::SelectStmt&>(**stmt));
+    EXPECT_FALSE(plan.ok()) << sql;
+    return plan.ok() ? Status::OK() : plan.status();
+  }
+
+  std::string Explain(const std::string& sql) {
+    PlannedQuery plan = Plan(sql);
+    return plan.root ? ExplainPlan(*plan.root) : "";
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(PlannerTest, OutputSchemaNames) {
+  PlannedQuery plan = Plan("SELECT id, name AS who, age + 1 FROM users");
+  ASSERT_EQ(plan.output_schema.num_columns(), 3u);
+  EXPECT_EQ(plan.output_schema.column(0).name, "id");
+  EXPECT_EQ(plan.output_schema.column(1).name, "who");
+  EXPECT_EQ(plan.output_schema.column(2).name, "(age + 1)");
+  EXPECT_EQ(plan.output_schema.column(2).type, DataType::kInt64);
+}
+
+TEST_F(PlannerTest, StarExpansion) {
+  PlannedQuery plan = Plan("SELECT * FROM users");
+  EXPECT_EQ(plan.output_schema.num_columns(), 3u);
+  PlannedQuery qualified = Plan("SELECT u.* FROM users u, orders o");
+  EXPECT_EQ(qualified.output_schema.num_columns(), 3u);
+}
+
+TEST_F(PlannerTest, PredicatePushdownIntoSeqScan) {
+  std::string plan = Explain("SELECT id FROM users WHERE age > 30");
+  EXPECT_NE(plan.find("SeqScan(users, filtered)"), std::string::npos);
+  // No separate Filter node remains.
+  EXPECT_EQ(plan.find("Filter"), std::string::npos);
+}
+
+TEST_F(PlannerTest, IndexSelectionEquality) {
+  MustExecute(&db_, "CREATE INDEX users_id ON users (id)");
+  std::string plan = Explain("SELECT name FROM users WHERE id = 2");
+  EXPECT_NE(plan.find("IndexScan(users.id)"), std::string::npos);
+}
+
+TEST_F(PlannerTest, IndexSelectionRange) {
+  MustExecute(&db_, "CREATE INDEX users_age ON users (age)");
+  std::string plan =
+      Explain("SELECT name FROM users WHERE age >= 30 AND age < 40");
+  EXPECT_NE(plan.find("IndexScan(users.age)"), std::string::npos);
+}
+
+TEST_F(PlannerTest, IndexSelectionFlippedOperands) {
+  MustExecute(&db_, "CREATE INDEX users_age ON users (age)");
+  std::string plan = Explain("SELECT name FROM users WHERE 30 < age");
+  EXPECT_NE(plan.find("IndexScan(users.age)"), std::string::npos);
+}
+
+TEST_F(PlannerTest, NoIndexWithoutUsableBound) {
+  MustExecute(&db_, "CREATE INDEX users_age ON users (age)");
+  std::string plan = Explain("SELECT name FROM users WHERE age <> 30");
+  EXPECT_EQ(plan.find("IndexScan"), std::string::npos);
+}
+
+TEST_F(PlannerTest, EquiJoinBecomesHashJoin) {
+  std::string plan =
+      Explain("SELECT name, amount FROM users, orders WHERE id = uid");
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos);
+}
+
+TEST_F(PlannerTest, ExplicitJoinSyntax) {
+  std::string plan = Explain(
+      "SELECT name, amount FROM users JOIN orders ON users.id = orders.uid");
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos);
+}
+
+TEST_F(PlannerTest, NonEquiJoinFallsBackToNestedLoop) {
+  std::string plan =
+      Explain("SELECT name FROM users, orders WHERE id < uid");
+  EXPECT_NE(plan.find("NestedLoopJoin"), std::string::npos);
+}
+
+TEST_F(PlannerTest, SingleTablePredicatePushedBelowJoin) {
+  std::string plan = Explain(
+      "SELECT name FROM users, orders WHERE id = uid AND age > 28");
+  // The age predicate lands in the users scan, not above the join.
+  EXPECT_NE(plan.find("SeqScan(users, filtered)"), std::string::npos);
+}
+
+TEST_F(PlannerTest, AggregatePlanShape) {
+  std::string plan = Explain(
+      "SELECT name, count(*) FROM users GROUP BY name HAVING count(*) > 0");
+  EXPECT_NE(plan.find("HashAggregate(groups=1, aggs=1)"), std::string::npos);
+  EXPECT_NE(plan.find("Filter"), std::string::npos);  // HAVING
+}
+
+TEST_F(PlannerTest, GroupByOrdinalAndAlias) {
+  EXPECT_NE(Plan("SELECT name, count(*) FROM users GROUP BY 1").root,
+            nullptr);
+  EXPECT_NE(Plan("SELECT age % 10 AS bucket, count(*) FROM users "
+                 "GROUP BY bucket")
+                .root,
+            nullptr);
+}
+
+TEST_F(PlannerTest, OrderByVariants) {
+  EXPECT_NE(Plan("SELECT name FROM users ORDER BY 1").root, nullptr);
+  EXPECT_NE(Plan("SELECT name AS n FROM users ORDER BY n DESC").root,
+            nullptr);
+  // Hidden sort column: ORDER BY something not in the select list.
+  std::string plan = Explain("SELECT name FROM users ORDER BY age");
+  EXPECT_NE(plan.find("Sort"), std::string::npos);
+  PlannedQuery hidden = Plan("SELECT name FROM users ORDER BY age");
+  EXPECT_EQ(hidden.output_schema.num_columns(), 1u);  // hidden col stripped
+}
+
+TEST_F(PlannerTest, OrderByOrdinalOutOfRange) {
+  Status s = PlanError("SELECT name FROM users ORDER BY 5");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST_F(PlannerTest, DistinctWithNonSelectOrderByRejected) {
+  Status s = PlanError("SELECT DISTINCT name FROM users ORDER BY age");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST_F(PlannerTest, StreamRequiresWindow) {
+  Status s = PlanError("SELECT v FROM events");
+  EXPECT_NE(s.message().find("window"), std::string::npos);
+}
+
+TEST_F(PlannerTest, WindowOnTableRejected) {
+  Status s = PlanError("SELECT id FROM users <VISIBLE '1 minute'>");
+  EXPECT_NE(s.message().find("streams"), std::string::npos);
+}
+
+TEST_F(PlannerTest, StreamLeafDiscovered) {
+  PlannedQuery plan =
+      Plan("SELECT v, count(*) FROM events <VISIBLE '1 minute'> GROUP BY v");
+  ASSERT_TRUE(plan.is_continuous());
+  EXPECT_EQ(plan.stream_leaves[0].stream_name, "events");
+  EXPECT_NE(plan.stream_leaves[0].buffer, nullptr);
+}
+
+TEST_F(PlannerTest, StreamLeafThroughSubquery) {
+  PlannedQuery plan = Plan(
+      "SELECT s.v FROM (SELECT v FROM events <VISIBLE '1 minute'>) s");
+  EXPECT_TRUE(plan.is_continuous());
+}
+
+TEST_F(PlannerTest, StreamStreamJoinRejected) {
+  Status s = PlanError(
+      "SELECT a.v FROM events <VISIBLE '1 minute'> a, "
+      "events <VISIBLE '1 minute'> b");
+  EXPECT_EQ(s.code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(PlannerTest, ViewExpansion) {
+  MustExecute(&db_, "CREATE VIEW adults AS SELECT * FROM users WHERE age >= 30");
+  PlannedQuery plan = Plan("SELECT name FROM adults");
+  EXPECT_EQ(plan.output_schema.num_columns(), 1u);
+}
+
+TEST_F(PlannerTest, MissingRelation) {
+  Status s = PlanError("SELECT x FROM nowhere");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlannerTest, UnknownColumn) {
+  Status s = PlanError("SELECT missing_col FROM users");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST_F(PlannerTest, UnionBranchArityChecked) {
+  Status s = PlanError("SELECT id FROM users UNION ALL SELECT id, age FROM users");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST_F(PlannerTest, FromlessSelect) {
+  PlannedQuery plan = Plan("SELECT 1 + 1");
+  ExecContext ctx;
+  storage::TransactionManager txns;
+  ctx.txns = &txns;
+  auto rows = CollectRows(plan.root.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 2);
+}
+
+TEST_F(PlannerTest, NonGroupedColumnWithAggregateRejected) {
+  Status s = PlanError("SELECT name, count(*) FROM users");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+}  // namespace
+}  // namespace streamrel::exec

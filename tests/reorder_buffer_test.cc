@@ -1,0 +1,126 @@
+#include "stream/reorder_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "common/time.h"
+#include "test_util.h"
+
+namespace streamrel::stream {
+namespace {
+
+constexpr int64_t kSec = kMicrosPerSecond;
+
+Row R(int64_t ts) { return Row{Value::Int64(ts)}; }
+
+/// Collects released rows and asserts global ordering.
+struct OrderedSink {
+  std::vector<int64_t> released;
+  ReorderBuffer::Sink Fn() {
+    return [this](const std::vector<Row>& rows) {
+      for (const Row& row : rows) released.push_back(row[0].AsInt64());
+      return Status::OK();
+    };
+  }
+};
+
+TEST(ReorderBufferTest, ReordersWithinSlack) {
+  OrderedSink sink;
+  ReorderBuffer buffer(5 * kSec, sink.Fn());
+  int64_t arrivals[] = {10, 8, 12, 9, 15, 14, 20, 18, 25};
+  for (int64_t t : arrivals) {
+    ASSERT_TRUE(buffer.Push(t * kSec, R(t * kSec)).ok()) << t;
+  }
+  ASSERT_TRUE(buffer.Flush().ok());
+  std::vector<int64_t> sorted(std::begin(arrivals), std::end(arrivals));
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(sink.released.size(), sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sink.released[i], sorted[i] * kSec);
+  }
+}
+
+TEST(ReorderBufferTest, TooLateRowsRejected) {
+  OrderedSink sink;
+  ReorderBuffer buffer(2 * kSec, sink.Fn());
+  ASSERT_TRUE(buffer.Push(10 * kSec, R(10)).ok());
+  Status late = buffer.Push(7 * kSec, R(7));
+  EXPECT_FALSE(late.ok());
+  // Exactly at the bound is accepted.
+  EXPECT_TRUE(buffer.Push(8 * kSec, R(8)).ok());
+}
+
+TEST(ReorderBufferTest, ReleasesAsWatermarkAdvances) {
+  OrderedSink sink;
+  ReorderBuffer buffer(3 * kSec, sink.Fn());
+  ASSERT_TRUE(buffer.Push(1 * kSec, R(1)).ok());
+  ASSERT_TRUE(buffer.Push(2 * kSec, R(2)).ok());
+  EXPECT_TRUE(sink.released.empty());  // still within slack
+  ASSERT_TRUE(buffer.Push(6 * kSec, R(6)).ok());
+  // watermark 6s, bound 3s: rows at 1s and 2s release.
+  EXPECT_EQ(sink.released.size(), 2u);
+  EXPECT_EQ(buffer.buffered_rows(), 1u);
+}
+
+TEST(ReorderBufferTest, EqualTimestampsKeepArrivalOrder) {
+  std::vector<std::string> order;
+  ReorderBuffer buffer(0, [&](const std::vector<Row>& rows) {
+    for (const Row& row : rows) order.push_back(row[1].AsString());
+    return Status::OK();
+  });
+  ASSERT_TRUE(buffer.Push(5, Row{Value::Int64(5), Value::String("first")})
+                  .ok());
+  ASSERT_TRUE(buffer.Push(5, Row{Value::Int64(5), Value::String("second")})
+                  .ok());
+  ASSERT_TRUE(buffer.Flush().ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(ReorderBufferTest, FeedsRuntimeWithDisorderedSource) {
+  // End to end: a shuffled source drives a CQ through the buffer; the
+  // result matches an ordered run.
+  engine::Database db;
+  MustExecute(&db, "CREATE STREAM s (v bigint, ts timestamp CQTIME USER)");
+  auto cq = db.CreateContinuousQuery(
+      "c", "SELECT count(*) FROM s <VISIBLE '1 minute'>");
+  ASSERT_TRUE(cq.ok());
+  CqCapture cap;
+  (*cq)->AddCallback(cap.Callback());
+
+  ReorderBuffer buffer(10 * kSec, [&](const std::vector<Row>& rows) {
+    return db.Ingest("s", rows);
+  });
+
+  std::mt19937 rng(7);
+  std::vector<int64_t> times;
+  for (int i = 0; i < 300; ++i) times.push_back(i * kSec);
+  // Local shuffles within a 8-second horizon (less than the slack).
+  for (size_t i = 0; i + 1 < times.size(); i += 2) {
+    if (rng() % 2 == 0) std::swap(times[i], times[i + 1]);
+  }
+  for (int64_t t : times) {
+    ASSERT_TRUE(
+        buffer.Push(t, Row{Value::Int64(t / kSec), Value::Timestamp(t)}).ok());
+  }
+  ASSERT_TRUE(buffer.Flush().ok());
+  ASSERT_TRUE(db.AdvanceTime("s", 300 * kSec).ok());
+
+  ASSERT_EQ(cap.batches.size(), 5u);
+  for (const auto& batch : cap.batches) {
+    EXPECT_EQ(batch.rows[0][0].AsInt64(), 60);  // every minute complete
+  }
+  EXPECT_EQ(buffer.rows_released(), 300);
+}
+
+TEST(ReorderBufferTest, SinkErrorPropagates) {
+  ReorderBuffer buffer(0, [](const std::vector<Row>&) {
+    return Status::Internal("sink down");
+  });
+  Status s = buffer.Push(1, R(1));
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace streamrel::stream

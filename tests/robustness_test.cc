@@ -1,0 +1,183 @@
+// Robustness: malformed, truncated, and randomly mutated inputs must come
+// back as clean Status errors (never crashes, never silent corruption).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace streamrel {
+namespace {
+
+TEST(ParserRobustnessTest, MalformedStatements) {
+  const char* cases[] = {
+      "",
+      ";",
+      "SELECT",
+      "SELECT FROM",
+      "SELECT * FROM",
+      "SELECT * FROM t WHERE",
+      "SELECT * FROM t GROUP",
+      "SELECT * FROM t ORDER LIMIT",
+      "CREATE",
+      "CREATE TABLE",
+      "CREATE TABLE t",
+      "CREATE TABLE t (",
+      "CREATE TABLE t (a)",
+      "CREATE TABLE t (a unknown_type)",
+      "CREATE STREAM s (ts timestamp CQTIME)",
+      "CREATE CHANNEL c FROM",
+      "INSERT t VALUES (1)",
+      "INSERT INTO t",
+      "INSERT INTO t VALUES",
+      "INSERT INTO t VALUES (1",
+      "UPDATE SET a = 1",
+      "UPDATE t SET",
+      "DELETE t",
+      "DROP",
+      "DROP SOMETHING x",
+      "SELECT a FROM s <VISIBLE>",
+      "SELECT a FROM s <VISIBLE '1 minute' ADVANCE>",
+      "SELECT a FROM s <SLICES WINDOWS>",
+      "SELECT 1 +",
+      "SELECT (1",
+      "SELECT CASE END",
+      "SELECT CAST(1 AS)",
+      "SELECT a BETWEEN 1",
+      "SELECT a IN",
+      "SELECT 'unterminated",
+      "SELECT \"unterminated",
+      "SELECT /* unterminated",
+      "EXPLAIN",
+      "VACUUM",
+  };
+  for (const char* text : cases) {
+    auto r = sql::ParseSql(text);
+    if (r.ok()) {
+      // An empty statement list is acceptable for "" and ";".
+      EXPECT_TRUE(r->empty()) << "unexpectedly parsed: " << text;
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << text;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomMutationsNeverCrash) {
+  const std::string seed_sql =
+      "SELECT url, count(*) AS c FROM url_stream "
+      "<VISIBLE '5 minutes' ADVANCE '1 minute'> WHERE bytes > 10 "
+      "GROUP BY url HAVING count(*) > 1 ORDER BY c DESC LIMIT 10";
+  std::mt19937 rng(20090107);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = seed_sql;
+    int edits = 1 + static_cast<int>(rng() % 4);
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0:  // delete a span
+          mutated.erase(pos, 1 + rng() % 5);
+          break;
+        case 1:  // duplicate a span
+          mutated.insert(pos, mutated.substr(pos, 1 + rng() % 5));
+          break;
+        case 2:  // random printable character
+          mutated.insert(pos, 1, static_cast<char>(32 + rng() % 95));
+          break;
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    // Must terminate and return either a parse tree or a ParseError.
+    auto r = sql::ParseSql(mutated);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError)
+          << "input: " << mutated;
+    }
+  }
+}
+
+TEST(EngineRobustnessTest, MutatedStatementsAgainstLiveEngine) {
+  engine::Database db;
+  MustExecute(&db,
+              "CREATE TABLE t (a bigint, b varchar);"
+              "CREATE STREAM s (v bigint, ts timestamp CQTIME USER);"
+              "INSERT INTO t VALUES (1, 'x')");
+  const std::string seeds[] = {
+      "SELECT a, b FROM t WHERE a > 0 ORDER BY a",
+      "INSERT INTO t VALUES (2, 'y')",
+      "UPDATE t SET b = 'z' WHERE a = 1",
+      "SELECT count(*) FROM t GROUP BY b",
+  };
+  std::mt19937 rng(42);
+  int executed = 0;
+  for (int trial = 0; trial < 800; ++trial) {
+    std::string text = seeds[trial % 4];
+    size_t pos = rng() % text.size();
+    text[pos] = static_cast<char>(32 + rng() % 95);
+    // Whatever happens must be a Status, not a crash; successful
+    // statements must leave the engine usable.
+    auto r = db.Execute(text);
+    if (r.ok()) ++executed;
+  }
+  // The engine still works after the bombardment.
+  auto check = MustExecute(&db, "SELECT count(*) FROM t");
+  EXPECT_GE(check.rows[0][0].AsInt64(), 1);
+  EXPECT_GT(executed, 0);  // some mutations stay valid (e.g. 'a' -> 'b')
+}
+
+TEST(EngineRobustnessTest, DeepExpressionNesting) {
+  engine::Database db;
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto r = db.Execute("SELECT " + expr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt64(), 201);
+}
+
+TEST(EngineRobustnessTest, ViewCycleDetected) {
+  engine::Database db;
+  MustExecute(&db, "CREATE TABLE t (a bigint)");
+  MustExecute(&db, "CREATE VIEW v1 AS SELECT a FROM t");
+  // Cycles can't be created through SQL (a view can only reference
+  // existing objects), but self-reference via later re-creation must not
+  // loop: drop t, recreate v2 referencing v1, drop v1... the depth guard
+  // protects planning regardless.
+  MustExecute(&db, "CREATE VIEW v2 AS SELECT a FROM v1");
+  auto r = db.Execute("SELECT a FROM v2");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(EngineRobustnessTest, HugeValuesRoundTrip) {
+  engine::Database db;
+  MustExecute(&db, "CREATE TABLE t (a bigint, s varchar)");
+  std::string big(100000, 'x');
+  big[50000] = '\'';  // will be escaped as ''
+  std::string escaped;
+  for (char c : big) {
+    escaped += c;
+    if (c == '\'') escaped += '\'';
+  }
+  MustExecute(&db, "INSERT INTO t VALUES (9223372036854775807, '" +
+                       escaped + "')");
+  auto r = MustExecute(&db, "SELECT a, length(s) FROM t");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), INT64_MAX);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 100000);
+}
+
+TEST(EngineRobustnessTest, ManySmallIngestBatches) {
+  engine::Database db;
+  MustExecute(&db, "CREATE STREAM s (v bigint, ts timestamp CQTIME USER)");
+  auto cq = db.CreateContinuousQuery(
+      "c", "SELECT count(*) FROM s <VISIBLE '1 minute'>");
+  ASSERT_TRUE(cq.ok());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(db.Ingest("s", {Row{Value::Int64(i),
+                                    Value::Timestamp(i * 100000)}})
+                    .ok());
+  }
+  EXPECT_EQ(db.runtime()->rows_ingested(), 5000);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,199 @@
+#include "stream/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "test_util.h"
+
+namespace streamrel::stream {
+namespace {
+
+constexpr int64_t kSec = kMicrosPerSecond;
+constexpr int64_t kMin = kMicrosPerMinute;
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() {
+    MustExecute(&db_,
+                "CREATE STREAM s (v bigint, ts timestamp CQTIME USER)");
+  }
+
+  Row R(int64_t v, int64_t ts) {
+    return Row{Value::Int64(v), Value::Timestamp(ts)};
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(RuntimeTest, IngestValidatesArity) {
+  EXPECT_FALSE(db_.Ingest("s", {Row{Value::Int64(1)}}).ok());
+}
+
+TEST_F(RuntimeTest, IngestValidatesOrder) {
+  ASSERT_TRUE(db_.Ingest("s", {R(1, 100)}).ok());
+  Status out_of_order = db_.Ingest("s", {R(2, 50)});
+  EXPECT_FALSE(out_of_order.ok());
+  EXPECT_NE(out_of_order.message().find("out-of-order"), std::string::npos);
+  // Equal timestamps are accepted.
+  EXPECT_TRUE(db_.Ingest("s", {R(3, 100)}).ok());
+}
+
+TEST_F(RuntimeTest, IngestRejectsNullCqtime) {
+  EXPECT_FALSE(db_.Ingest("s", {Row{Value::Int64(1), Value::Null()}}).ok());
+}
+
+TEST_F(RuntimeTest, IngestIntoDerivedStreamRejected) {
+  MustExecute(&db_, "CREATE STREAM d AS SELECT count(*) FROM s "
+                    "<VISIBLE '1 minute'>");
+  Status s = db_.Ingest("d", {Row{Value::Int64(1)}});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(RuntimeTest, UnknownStreamRejected) {
+  EXPECT_FALSE(db_.Ingest("ghost", {R(1, 1)}).ok());
+}
+
+TEST_F(RuntimeTest, SystemCqtimeStamping) {
+  MustExecute(&db_,
+              "CREATE STREAM sys (ts timestamp CQTIME SYSTEM, v bigint)");
+  // Without an ingest time: error.
+  EXPECT_FALSE(
+      db_.Ingest("sys", {Row{Value::Null(), Value::Int64(1)}}).ok());
+  // With one: the engine stamps the CQTIME column.
+  CqCapture cap;
+  ASSERT_TRUE(db_.runtime()->SubscribeStream("sys", cap.Callback()).ok());
+  ASSERT_TRUE(db_.Ingest("sys", {Row{Value::Null(), Value::Int64(1)}},
+                         /*system_time=*/123 * kSec)
+                  .ok());
+  ASSERT_EQ(cap.batches.size(), 1u);
+  EXPECT_EQ(cap.batches[0].rows[0][0].AsTimestampMicros(), 123 * kSec);
+}
+
+TEST_F(RuntimeTest, WatermarkTracksIngest) {
+  EXPECT_EQ(db_.runtime()->watermark("s"), INT64_MIN);
+  ASSERT_TRUE(db_.Ingest("s", {R(1, 42 * kSec)}).ok());
+  EXPECT_EQ(db_.runtime()->watermark("s"), 42 * kSec);
+  ASSERT_TRUE(db_.AdvanceTime("s", kMin).ok());
+  EXPECT_EQ(db_.runtime()->watermark("s"), kMin);
+}
+
+TEST_F(RuntimeTest, HeartbeatClosesWindowsWithoutData) {
+  auto cq = db_.CreateContinuousQuery(
+      "c", "SELECT count(*) FROM s <VISIBLE '1 minute'>");
+  ASSERT_TRUE(cq.ok());
+  CqCapture cap;
+  (*cq)->AddCallback(cap.Callback());
+  ASSERT_TRUE(db_.Ingest("s", {R(1, kSec)}).ok());
+  ASSERT_TRUE(db_.AdvanceTime("s", 3 * kMin).ok());
+  ASSERT_EQ(cap.batches.size(), 3u);
+  EXPECT_EQ(cap.batches[0].rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(cap.batches[1].rows[0][0].AsInt64(), 0);
+}
+
+TEST_F(RuntimeTest, DropCqStopsDelivery) {
+  auto cq = db_.CreateContinuousQuery(
+      "c", "SELECT count(*) FROM s <VISIBLE '1 minute'>");
+  ASSERT_TRUE(cq.ok());
+  CqCapture cap;
+  (*cq)->AddCallback(cap.Callback());
+  ASSERT_TRUE(db_.Ingest("s", {R(1, kSec)}).ok());
+  ASSERT_TRUE(db_.AdvanceTime("s", kMin).ok());
+  ASSERT_EQ(cap.batches.size(), 1u);
+  ASSERT_TRUE(db_.DropContinuousQuery("c").ok());
+  ASSERT_TRUE(db_.AdvanceTime("s", 2 * kMin).ok());
+  EXPECT_EQ(cap.batches.size(), 1u);
+  EXPECT_EQ(db_.runtime()->GetCq("c"), nullptr);
+}
+
+TEST_F(RuntimeTest, DuplicateCqNameRejected) {
+  ASSERT_TRUE(db_.CreateContinuousQuery(
+                    "c", "SELECT count(*) FROM s <VISIBLE '1 minute'>")
+                  .ok());
+  auto dup = db_.CreateContinuousQuery(
+      "C", "SELECT count(*) FROM s <VISIBLE '1 minute'>");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(RuntimeTest, DerivedStreamCascade) {
+  // s -> per-minute counts -> per-2-minute sums over the derived stream.
+  MustExecute(&db_,
+              "CREATE STREAM per_min AS SELECT count(*) AS c FROM s "
+              "<VISIBLE '1 minute'>");
+  auto cq = db_.CreateContinuousQuery(
+      "rollup",
+      "SELECT sum(c) FROM per_min <VISIBLE '2 minutes'>");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  CqCapture cap;
+  (*cq)->AddCallback(cap.Callback());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(db_.Ingest("s", {R(i, i * kMin + kSec)}).ok());
+  }
+  ASSERT_TRUE(db_.AdvanceTime("s", 4 * kMin).ok());
+  ASSERT_GE(cap.batches.size(), 1u);
+  // Each 2-minute window over the derived stream sums two 1-minute counts.
+  EXPECT_EQ(cap.batches[0].rows[0][0].AsInt64(), 2);
+}
+
+TEST_F(RuntimeTest, SlicesWindowOverDerivedStream) {
+  MustExecute(&db_,
+              "CREATE STREAM per_min AS SELECT count(*) AS c, cq_close(*) "
+              "AS w FROM s <VISIBLE '1 minute'>");
+  auto cq = db_.CreateContinuousQuery(
+      "pass", "SELECT c, w FROM per_min <SLICES 1 WINDOWS>");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  CqCapture cap;
+  (*cq)->AddCallback(cap.Callback());
+  ASSERT_TRUE(db_.Ingest("s", {R(1, kSec), R(2, 2 * kSec)}).ok());
+  ASSERT_TRUE(db_.AdvanceTime("s", kMin).ok());
+  ASSERT_EQ(cap.batches.size(), 1u);
+  ASSERT_EQ(cap.batches[0].rows.size(), 1u);
+  EXPECT_EQ(cap.batches[0].rows[0][0].AsInt64(), 2);
+}
+
+TEST_F(RuntimeTest, ClientSubscriptionOnDerivedStream) {
+  MustExecute(&db_,
+              "CREATE STREAM per_min AS SELECT count(*) AS c FROM s "
+              "<VISIBLE '1 minute'>");
+  CqCapture cap;
+  ASSERT_TRUE(db_.runtime()->SubscribeStream("per_min", cap.Callback()).ok());
+  ASSERT_TRUE(db_.Ingest("s", {R(1, kSec)}).ok());
+  ASSERT_TRUE(db_.AdvanceTime("s", kMin).ok());
+  ASSERT_EQ(cap.batches.size(), 1u);
+  EXPECT_EQ(cap.batches[0].close, kMin);
+}
+
+TEST_F(RuntimeTest, MultipleIndependentStreams) {
+  MustExecute(&db_,
+              "CREATE STREAM s2 (v bigint, ts timestamp CQTIME USER)");
+  auto c1 = db_.CreateContinuousQuery(
+      "c1", "SELECT count(*) FROM s <VISIBLE '1 minute'>");
+  auto c2 = db_.CreateContinuousQuery(
+      "c2", "SELECT count(*) FROM s2 <VISIBLE '1 minute'>");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  CqCapture cap1, cap2;
+  (*c1)->AddCallback(cap1.Callback());
+  (*c2)->AddCallback(cap2.Callback());
+  ASSERT_TRUE(db_.Ingest("s", {R(1, kSec)}).ok());
+  ASSERT_TRUE(db_.AdvanceTime("s", kMin).ok());
+  EXPECT_EQ(cap1.batches.size(), 1u);
+  EXPECT_TRUE(cap2.batches.empty());  // s2 untouched
+}
+
+TEST_F(RuntimeTest, CqNamesListing) {
+  ASSERT_TRUE(db_.CreateContinuousQuery(
+                    "alpha", "SELECT count(*) FROM s <VISIBLE '1 minute'>")
+                  .ok());
+  auto names = db_.runtime()->CqNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "alpha");
+}
+
+TEST_F(RuntimeTest, RowsIngestedCounter) {
+  ASSERT_TRUE(db_.Ingest("s", {R(1, 1), R(2, 2), R(3, 3)}).ok());
+  EXPECT_EQ(db_.runtime()->rows_ingested(), 3);
+}
+
+}  // namespace
+}  // namespace streamrel::stream

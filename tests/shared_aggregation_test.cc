@@ -1,0 +1,229 @@
+#include "stream/shared_aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "exec/operators.h"
+#include "sql/parser.h"
+
+namespace streamrel::stream {
+namespace {
+
+constexpr int64_t kSec = kMicrosPerSecond;
+constexpr int64_t kMin = kMicrosPerMinute;
+
+Schema StreamSchema() {
+  return Schema({Column("url", DataType::kString),
+                 Column("ts", DataType::kTimestamp),
+                 Column("bytes", DataType::kInt64)});
+}
+
+exec::BoundExprPtr Bind(const std::string& text) {
+  auto ast = sql::ParseExpression(text);
+  EXPECT_TRUE(ast.ok());
+  Schema schema = StreamSchema();
+  exec::ExprBinder binder(schema);
+  auto bound = binder.BindScalar(**ast);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return bound.ok() ? std::move(*bound) : nullptr;
+}
+
+exec::AggregateCall Call(const std::string& fn, const std::string& arg) {
+  exec::AggregateCall call;
+  call.function = fn;
+  if (arg == "*") {
+    call.star = true;
+    call.display_name = fn + "(*)";
+  } else {
+    call.argument = Bind(arg);
+    call.display_name = fn + "(" + arg + ")";
+  }
+  call.result_type = *exec::InferAggregateType(
+      fn, call.star, call.argument ? call.argument->type : DataType::kNull);
+  return call;
+}
+
+Row R(const std::string& url, int64_t ts, int64_t bytes) {
+  return Row{Value::String(url), Value::Timestamp(ts), Value::Int64(bytes)};
+}
+
+std::vector<exec::BoundExprPtr> GroupByUrl() {
+  std::vector<exec::BoundExprPtr> groups;
+  groups.push_back(Bind("url"));
+  return groups;
+}
+
+TEST(SliceAggregatorTest, BasicGroupedCount) {
+  SliceAggregator agg(kMin, nullptr, GroupByUrl());
+  std::vector<exec::AggregateCall> calls;
+  calls.push_back(Call("count", "*"));
+  ASSERT_TRUE(agg.RegisterCalls(std::move(calls)).ok());
+
+  ASSERT_TRUE(agg.AddRow(10 * kSec, R("/a", 10 * kSec, 100)).ok());
+  ASSERT_TRUE(agg.AddRow(20 * kSec, R("/a", 20 * kSec, 100)).ok());
+  ASSERT_TRUE(agg.AddRow(30 * kSec, R("/b", 30 * kSec, 100)).ok());
+
+  auto rows = agg.ComputeWindow(kMin, kMin);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  for (const Row& row : *rows) {
+    if (row[0].AsString() == "/a") {
+      EXPECT_EQ(row[1].AsInt64(), 2);
+    } else {
+      EXPECT_EQ(row[1].AsInt64(), 1);
+    }
+  }
+}
+
+TEST(SliceAggregatorTest, SlidingWindowMergesSlices) {
+  SliceAggregator agg(kMin, nullptr, GroupByUrl());
+  std::vector<exec::AggregateCall> calls;
+  calls.push_back(Call("count", "*"));
+  ASSERT_TRUE(agg.RegisterCalls(std::move(calls)).ok());
+
+  // One row per minute for 5 minutes.
+  for (int m = 0; m < 5; ++m) {
+    ASSERT_TRUE(
+        agg.AddRow(m * kMin + 30 * kSec, R("/a", m * kMin + 30 * kSec, 1))
+            .ok());
+  }
+  // Window [0, 3min): 3 rows. Window [2min, 5min): 3 rows.
+  auto w1 = agg.ComputeWindow(3 * kMin, 3 * kMin);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_EQ(w1->size(), 1u);
+  EXPECT_EQ((*w1)[0][1].AsInt64(), 3);
+  auto w2 = agg.ComputeWindow(5 * kMin, 3 * kMin);
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ((*w2)[0][1].AsInt64(), 3);
+}
+
+TEST(SliceAggregatorTest, RowAtSliceBoundaryExcludedFromClosingWindow) {
+  SliceAggregator agg(kMin, nullptr, GroupByUrl());
+  std::vector<exec::AggregateCall> calls;
+  calls.push_back(Call("count", "*"));
+  ASSERT_TRUE(agg.RegisterCalls(std::move(calls)).ok());
+  ASSERT_TRUE(agg.AddRow(kMin, R("/a", kMin, 1)).ok());  // ts == close
+  auto rows = agg.ComputeWindow(kMin, kMin);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());  // belongs to the next window
+  auto next = agg.ComputeWindow(2 * kMin, kMin);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->size(), 1u);
+}
+
+TEST(SliceAggregatorTest, FilterApplied) {
+  SliceAggregator agg(kMin, Bind("bytes > 50"), GroupByUrl());
+  std::vector<exec::AggregateCall> calls;
+  calls.push_back(Call("count", "*"));
+  ASSERT_TRUE(agg.RegisterCalls(std::move(calls)).ok());
+  ASSERT_TRUE(agg.AddRow(1, R("/a", 1, 100)).ok());
+  ASSERT_TRUE(agg.AddRow(2, R("/a", 2, 10)).ok());  // filtered out
+  auto rows = agg.ComputeWindow(kMin, kMin);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 1);
+}
+
+TEST(SliceAggregatorTest, UnionAcrossMembers) {
+  SliceAggregator agg(kMin, nullptr, GroupByUrl());
+  std::vector<exec::AggregateCall> first;
+  first.push_back(Call("count", "*"));
+  auto m1 = agg.RegisterCalls(std::move(first));
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(*m1, std::vector<size_t>{0});
+
+  // Second member: shares count(*), adds sum(bytes).
+  std::vector<exec::AggregateCall> second;
+  second.push_back(Call("sum", "bytes"));
+  second.push_back(Call("count", "*"));
+  auto m2 = agg.RegisterCalls(std::move(second));
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(*m2, (std::vector<size_t>{1, 0}));
+  EXPECT_EQ(agg.union_call_count(), 2u);
+
+  ASSERT_TRUE(agg.AddRow(1, R("/a", 1, 10)).ok());
+  ASSERT_TRUE(agg.AddRow(2, R("/a", 2, 20)).ok());
+  auto rows = agg.ComputeWindow(kMin, kMin);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 2);   // count(*) at union slot 0
+  EXPECT_EQ((*rows)[0][2].AsInt64(), 30);  // sum(bytes) at union slot 1
+}
+
+TEST(SliceAggregatorTest, NoBackfillForLiveAggregator) {
+  SliceAggregator agg(kMin, nullptr, GroupByUrl());
+  std::vector<exec::AggregateCall> first;
+  first.push_back(Call("count", "*"));
+  ASSERT_TRUE(agg.RegisterCalls(std::move(first)).ok());
+  ASSERT_TRUE(agg.AddRow(1, R("/a", 1, 1)).ok());
+
+  std::vector<exec::AggregateCall> late;
+  late.push_back(Call("sum", "bytes"));
+  EXPECT_FALSE(agg.CanAccept(late));
+  EXPECT_FALSE(agg.RegisterCalls(std::move(late)).ok());
+
+  // An existing aggregate is still accepted.
+  std::vector<exec::AggregateCall> same;
+  same.push_back(Call("count", "*"));
+  EXPECT_TRUE(agg.CanAccept(same));
+  EXPECT_TRUE(agg.RegisterCalls(std::move(same)).ok());
+}
+
+TEST(SliceAggregatorTest, ScalarAggregationEmptyWindow) {
+  SliceAggregator agg(kMin, nullptr, {});
+  std::vector<exec::AggregateCall> calls;
+  calls.push_back(Call("count", "*"));
+  ASSERT_TRUE(agg.RegisterCalls(std::move(calls)).ok());
+  auto rows = agg.ComputeWindow(kMin, kMin);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 0);
+}
+
+TEST(SliceAggregatorTest, EvictionDropsOldSlices) {
+  SliceAggregator agg(kMin, nullptr, GroupByUrl());
+  std::vector<exec::AggregateCall> calls;
+  calls.push_back(Call("count", "*"));
+  ASSERT_TRUE(agg.RegisterCalls(std::move(calls)).ok());
+  agg.NoteWindowVisible(2 * kMin);
+  for (int m = 0; m < 10; ++m) {
+    ASSERT_TRUE(agg.AddRow(m * kMin, R("/a", m * kMin, 1)).ok());
+  }
+  EXPECT_EQ(agg.live_slices(), 10u);
+  agg.EvictBefore(10 * kMin - agg.max_visible());
+  EXPECT_LE(agg.live_slices(), 2u);
+  // The last window still computes correctly from the remaining slices.
+  auto rows = agg.ComputeWindow(10 * kMin, 2 * kMin);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 2);
+}
+
+TEST(SliceAggregatorTest, MisalignedWindowIsInternalError) {
+  SliceAggregator agg(kMin, nullptr, GroupByUrl());
+  std::vector<exec::AggregateCall> calls;
+  calls.push_back(Call("count", "*"));
+  ASSERT_TRUE(agg.RegisterCalls(std::move(calls)).ok());
+  EXPECT_FALSE(agg.ComputeWindow(kMin, 90 * kSec).ok());
+}
+
+TEST(SliceAggregatorTest, MultipleWindowWidthsShareOnePipeline) {
+  // Two members: 1-minute and 3-minute windows over the same slices.
+  SliceAggregator agg(kMin, nullptr, GroupByUrl());
+  std::vector<exec::AggregateCall> calls;
+  calls.push_back(Call("sum", "bytes"));
+  ASSERT_TRUE(agg.RegisterCalls(std::move(calls)).ok());
+  for (int m = 0; m < 3; ++m) {
+    ASSERT_TRUE(
+        agg.AddRow(m * kMin + kSec, R("/a", m * kMin + kSec, m + 1)).ok());
+  }
+  auto narrow = agg.ComputeWindow(3 * kMin, kMin);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ((*narrow)[0][1].AsInt64(), 3);  // last minute only
+  auto wide = agg.ComputeWindow(3 * kMin, 3 * kMin);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ((*wide)[0][1].AsInt64(), 6);  // all three
+}
+
+}  // namespace
+}  // namespace streamrel::stream

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Smoke test for the interactive SQL shell: drives a full stream-relational
+# session through stdin and greps the expected outputs.
+set -u
+SHELL_BIN="$1"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+cat > "$TMP_DIR/clicks.csv" <<'EOF'
+url,atime
+/a,2009-01-05 09:00:10
+/b,2009-01-05 09:00:20
+/a,2009-01-05 09:00:40
+EOF
+
+OUT="$TMP_DIR/out.txt"
+"$SHELL_BIN" > "$OUT" 2>&1 <<EOF
+CREATE STREAM s (url varchar, atime timestamp CQTIME USER);
+SELECT url, count(*) AS hits FROM s <VISIBLE '1 minute'> GROUP BY url ORDER BY hits DESC;
+\\copy s $TMP_DIR/clicks.csv
+\\advance s 2009-01-05 09:01:00
+CREATE TABLE t (a bigint);
+INSERT INTO t VALUES (1), (2), (3);
+SELECT sum(a) AS total FROM t;
+\\export $TMP_DIR/export.csv SELECT a FROM t ORDER BY a;
+EXPLAIN SELECT a FROM t WHERE a = 1;
+\\cqs
+\\q
+EOF
+
+fail() {
+  echo "SMOKE FAILURE: $1"
+  echo "--- shell output ---"
+  cat "$OUT"
+  exit 1
+}
+
+grep -q "started continuous query cq_1" "$OUT" || fail "CQ not registered"
+grep -q "loaded 3 rows into s" "$OUT" || fail "\\copy failed"
+grep -q "(/a, 2)" "$OUT" || fail "window results missing"
+grep -q "| 6" "$OUT" || fail "snapshot aggregate missing"
+grep -q "wrote 3 rows" "$OUT" || fail "\\export failed"
+grep -q "SeqScan(t, filtered)" "$OUT" || fail "EXPLAIN missing"
+grep -q "cq_1" "$OUT" || fail "\\cqs missing"
+head -1 "$TMP_DIR/export.csv" | grep -q "^a$" || fail "export header wrong"
+grep -q "^2$" "$TMP_DIR/export.csv" || fail "export rows wrong"
+echo "shell smoke test passed"

@@ -1,0 +1,75 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace streamrel {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table t");
+  EXPECT_EQ(s.ToString(), "Not found: table t");
+}
+
+TEST(StatusTest, AllFactoriesSetCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::NotImplemented("").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Aborted("").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::ExecutionError("").code(), StatusCode::kExecutionError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> r(std::string("abc"));
+  std::string v = r.TakeValue();
+  EXPECT_EQ(v, "abc");
+}
+
+namespace helpers {
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+Status UseMacros(int x, int* out) {
+  ASSIGN_OR_RETURN(int half, HalveEven(x));
+  RETURN_IF_ERROR(Status::OK());
+  *out = half;
+  return Status::OK();
+}
+}  // namespace helpers
+
+TEST(ResultTest, MacrosPropagate) {
+  int out = 0;
+  EXPECT_TRUE(helpers::UseMacros(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status s = helpers::UseMacros(3, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace streamrel

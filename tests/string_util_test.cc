@@ -1,0 +1,39 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace streamrel {
+namespace {
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("MiXeD_123"), "mixed_123");
+  EXPECT_EQ(ToUpper("MiXeD_123"), "MIXED_123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("a b  c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitWhitespace("  leading and trailing  "),
+            (std::vector<std::string>{"leading", "and", "trailing"}));
+  EXPECT_EQ(SplitWhitespace("\tone\ntwo\r"),
+            (std::vector<std::string>{"one", "two"}));
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,121 @@
+// sys_* introspection tables: live catalog/runtime state queryable via SQL.
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "test_util.h"
+
+namespace streamrel::engine {
+namespace {
+
+constexpr int64_t kSec = kMicrosPerSecond;
+constexpr int64_t kMin = kMicrosPerMinute;
+
+class SystemTablesTest : public ::testing::Test {
+ protected:
+  Database db_;
+};
+
+TEST_F(SystemTablesTest, SysTablesListsUserTables) {
+  MustExecute(&db_, "CREATE TABLE users (id bigint, name varchar)");
+  MustExecute(&db_, "INSERT INTO users VALUES (1, 'a'), (2, 'b')");
+  MustExecute(&db_, "CREATE INDEX users_id ON users (id)");
+  auto r = MustExecute(
+      &db_,
+      "SELECT columns, row_versions, indexes FROM sys_tables "
+      "WHERE name = 'users'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 2);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 2);
+  EXPECT_EQ(r.rows[0][2].AsInt64(), 1);
+}
+
+TEST_F(SystemTablesTest, SysStreamsShowsKindAndWatermark) {
+  MustExecute(&db_, "CREATE STREAM s (v bigint, ts timestamp CQTIME USER)");
+  MustExecute(&db_,
+              "CREATE STREAM d AS SELECT count(*) FROM s "
+              "<VISIBLE '1 minute'>");
+  auto before = MustExecute(
+      &db_, "SELECT kind, watermark FROM sys_streams ORDER BY name");
+  ASSERT_EQ(before.rows.size(), 2u);
+  EXPECT_EQ(before.rows[0][0].AsString(), "derived");
+  EXPECT_EQ(before.rows[1][0].AsString(), "raw");
+  EXPECT_TRUE(before.rows[1][1].is_null());  // nothing ingested yet
+
+  ASSERT_TRUE(db_.Ingest("s", {Row{Value::Int64(1),
+                                   Value::Timestamp(30 * kSec)}})
+                  .ok());
+  auto after = MustExecute(
+      &db_, "SELECT watermark FROM sys_streams WHERE name = 's'");
+  EXPECT_EQ(after.rows[0][0].AsTimestampMicros(), 30 * kSec);
+}
+
+TEST_F(SystemTablesTest, SysCqsShowsStrategyAndProgress) {
+  MustExecute(&db_, "CREATE STREAM s (v bigint, ts timestamp CQTIME USER)");
+  ASSERT_TRUE(db_.CreateContinuousQuery(
+                    "metric",
+                    "SELECT count(*) FROM s <VISIBLE '1 minute'>")
+                  .ok());
+  ASSERT_TRUE(db_.Ingest("s", {Row{Value::Int64(1),
+                                   Value::Timestamp(kSec)}})
+                  .ok());
+  ASSERT_TRUE(db_.AdvanceTime("s", 2 * kMin).ok());
+  auto r = MustExecute(&db_,
+                       "SELECT strategy, windows_evaluated FROM sys_cqs "
+                       "WHERE name = 'metric'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "shared");
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 2);
+}
+
+TEST_F(SystemTablesTest, SysChannelsShowsWatermarkAndRows) {
+  MustExecute(&db_,
+              "CREATE STREAM s (v bigint, ts timestamp CQTIME USER);"
+              "CREATE STREAM agg AS SELECT count(*) AS c FROM s "
+              "<VISIBLE '1 minute'>;"
+              "CREATE TABLE t (c bigint);"
+              "CREATE CHANNEL ch FROM agg INTO t APPEND");
+  ASSERT_TRUE(db_.Ingest("s", {Row{Value::Int64(1),
+                                   Value::Timestamp(kSec)}})
+                  .ok());
+  ASSERT_TRUE(db_.AdvanceTime("s", kMin).ok());
+  auto r = MustExecute(
+      &db_,
+      "SELECT source, target, mode, watermark, rows_persisted "
+      "FROM sys_channels WHERE name = 'ch'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "agg");
+  EXPECT_EQ(r.rows[0][1].AsString(), "t");
+  EXPECT_EQ(r.rows[0][2].AsString(), "append");
+  EXPECT_EQ(r.rows[0][3].AsTimestampMicros(), kMin);
+  EXPECT_EQ(r.rows[0][4].AsInt64(), 1);
+}
+
+TEST_F(SystemTablesTest, SysNamesReserved) {
+  EXPECT_FALSE(db_.Execute("CREATE TABLE sys_mine (a bigint)").ok());
+  EXPECT_FALSE(
+      db_.Execute("CREATE STREAM sys_s (ts timestamp CQTIME USER)").ok());
+  EXPECT_FALSE(db_.Execute("CREATE VIEW sys_v AS SELECT 1").ok());
+}
+
+TEST_F(SystemTablesTest, SystemTablesJoinable) {
+  MustExecute(&db_, "CREATE TABLE a (x bigint)");
+  MustExecute(&db_, "CREATE TABLE b (x bigint)");
+  // Self-join sys_tables with an aggregate: they are ordinary relations.
+  auto r = MustExecute(
+      &db_,
+      "SELECT count(*) FROM sys_tables WHERE name = 'a' OR name = 'b'");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 2);
+}
+
+TEST_F(SystemTablesTest, RefreshIsStable) {
+  MustExecute(&db_, "CREATE TABLE t (a bigint)");
+  for (int i = 0; i < 5; ++i) {
+    auto r = MustExecute(
+        &db_, "SELECT count(*) FROM sys_tables WHERE name = 't'");
+    EXPECT_EQ(r.rows[0][0].AsInt64(), 1) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace streamrel::engine

@@ -1,0 +1,49 @@
+#ifndef STREAMREL_TESTS_TEST_UTIL_H_
+#define STREAMREL_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace streamrel {
+
+/// Executes `sql` and fails the test on error.
+inline engine::QueryResult MustExecute(engine::Database* db,
+                                       const std::string& sql) {
+  auto r = db->Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << "\n -> " << r.status().ToString();
+  return r.ok() ? r.TakeValue() : engine::QueryResult{};
+}
+
+/// Renders result rows as one string per row, e.g. "(1, a)".
+inline std::vector<std::string> RowStrings(
+    const engine::QueryResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.rows.size());
+  for (const Row& row : result.rows) out.push_back(RowToString(row));
+  return out;
+}
+
+/// Collects (close, rows) pairs from a CQ for assertions.
+struct CqCapture {
+  struct Batch {
+    int64_t close;
+    std::vector<Row> rows;
+  };
+  std::vector<Batch> batches;
+
+  stream::CqCallback Callback() {
+    return [this](int64_t close, const std::vector<Row>& rows) {
+      batches.push_back(Batch{close, rows});
+      return Status::OK();
+    };
+  }
+};
+
+}  // namespace streamrel
+
+#endif  // STREAMREL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,114 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace streamrel {
+namespace {
+
+TEST(TimestampTest, ParseDateOnly) {
+  auto r = ParseTimestampMicros("1970-01-01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0);
+}
+
+TEST(TimestampTest, ParseDateTime) {
+  auto r = ParseTimestampMicros("1970-01-02 00:00:01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, kMicrosPerDay + kMicrosPerSecond);
+}
+
+TEST(TimestampTest, ParseFractionalSeconds) {
+  auto r = ParseTimestampMicros("1970-01-01 00:00:00.250000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 250000);
+  auto r2 = ParseTimestampMicros("1970-01-01 00:00:00.5");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 500000);
+}
+
+TEST(TimestampTest, ParseTSeparator) {
+  auto r = ParseTimestampMicros("2009-01-05T09:00:00");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(FormatTimestampMicros(*r), "2009-01-05 09:00:00");
+}
+
+TEST(TimestampTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseTimestampMicros("not a date").ok());
+  EXPECT_FALSE(ParseTimestampMicros("2009-13-01").ok());
+  EXPECT_FALSE(ParseTimestampMicros("2009-01-05 25:00:00").ok());
+  EXPECT_FALSE(ParseTimestampMicros("2009-01-05 09:00:00x").ok());
+}
+
+TEST(TimestampTest, FormatRoundTrip) {
+  const char* cases[] = {"2009-01-05 09:00:00", "1999-12-31 23:59:59",
+                         "2026-07-06 00:00:00", "1970-01-01 00:00:00"};
+  for (const char* text : cases) {
+    auto micros = ParseTimestampMicros(text);
+    ASSERT_TRUE(micros.ok()) << text;
+    EXPECT_EQ(FormatTimestampMicros(*micros), text);
+  }
+}
+
+TEST(TimestampTest, PreEpochFormat) {
+  auto micros = ParseTimestampMicros("1969-12-31 23:00:00");
+  ASSERT_TRUE(micros.ok());
+  EXPECT_LT(*micros, 0);
+  EXPECT_EQ(FormatTimestampMicros(*micros), "1969-12-31 23:00:00");
+}
+
+TEST(TimestampTest, LeapYearDay) {
+  auto micros = ParseTimestampMicros("2008-02-29 12:00:00");
+  ASSERT_TRUE(micros.ok());
+  EXPECT_EQ(FormatTimestampMicros(*micros), "2008-02-29 12:00:00");
+}
+
+TEST(IntervalTest, ParseSingleUnit) {
+  EXPECT_EQ(*ParseIntervalMicros("5 minutes"), 5 * kMicrosPerMinute);
+  EXPECT_EQ(*ParseIntervalMicros("1 minute"), kMicrosPerMinute);
+  EXPECT_EQ(*ParseIntervalMicros("1 week"), kMicrosPerWeek);
+  EXPECT_EQ(*ParseIntervalMicros("30 seconds"), 30 * kMicrosPerSecond);
+  EXPECT_EQ(*ParseIntervalMicros("250 milliseconds"), 250 * kMicrosPerMilli);
+  EXPECT_EQ(*ParseIntervalMicros("2 hours"), 2 * kMicrosPerHour);
+  EXPECT_EQ(*ParseIntervalMicros("3 days"), 3 * kMicrosPerDay);
+}
+
+TEST(IntervalTest, ParseCompound) {
+  EXPECT_EQ(*ParseIntervalMicros("1 hour 30 minutes"),
+            kMicrosPerHour + 30 * kMicrosPerMinute);
+}
+
+TEST(IntervalTest, ParseCaseInsensitiveUnits) {
+  EXPECT_EQ(*ParseIntervalMicros("5 MINUTES"), 5 * kMicrosPerMinute);
+}
+
+TEST(IntervalTest, ParseFractionalQuantity) {
+  EXPECT_EQ(*ParseIntervalMicros("0.5 seconds"), kMicrosPerSecond / 2);
+}
+
+TEST(IntervalTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseIntervalMicros("").ok());
+  EXPECT_FALSE(ParseIntervalMicros("5").ok());
+  EXPECT_FALSE(ParseIntervalMicros("five minutes").ok());
+  EXPECT_FALSE(ParseIntervalMicros("5 fortnights").ok());
+}
+
+TEST(IntervalTest, FormatPicksLargestExactUnit) {
+  EXPECT_EQ(FormatIntervalMicros(5 * kMicrosPerMinute), "5 minutes");
+  EXPECT_EQ(FormatIntervalMicros(kMicrosPerMinute), "1 minute");
+  EXPECT_EQ(FormatIntervalMicros(90 * kMicrosPerSecond), "90 seconds");
+  EXPECT_EQ(FormatIntervalMicros(0), "0 seconds");
+  EXPECT_EQ(FormatIntervalMicros(kMicrosPerWeek), "1 week");
+}
+
+TEST(IntervalTest, FormatParsesBack) {
+  int64_t cases[] = {1,        1000,          kMicrosPerSecond,
+                     86400000, kMicrosPerDay, 7 * kMicrosPerHour};
+  for (int64_t micros : cases) {
+    auto parsed = ParseIntervalMicros(FormatIntervalMicros(micros));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, micros);
+  }
+}
+
+}  // namespace
+}  // namespace streamrel

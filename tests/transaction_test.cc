@@ -1,0 +1,120 @@
+#include "storage/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace streamrel::storage {
+namespace {
+
+TEST(TransactionTest, BeginCommitLifecycle) {
+  TransactionManager txns;
+  TxnId t = txns.Begin();
+  EXPECT_NE(t, kInvalidTxn);
+  EXPECT_FALSE(txns.IsCommitted(t));
+  auto seq = txns.Commit(t, 100);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_TRUE(txns.IsCommitted(t));
+}
+
+TEST(TransactionTest, CommitSequenceMonotonic) {
+  TransactionManager txns;
+  TxnId a = txns.Begin(), b = txns.Begin();
+  auto sb = txns.Commit(b, 10);
+  auto sa = txns.Commit(a, 20);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_LT(*sb, *sa);  // commit order, not begin order
+}
+
+TEST(TransactionTest, DoubleCommitRejected) {
+  TransactionManager txns;
+  TxnId t = txns.Begin();
+  ASSERT_TRUE(txns.Commit(t, 1).ok());
+  EXPECT_FALSE(txns.Commit(t, 2).ok());
+}
+
+TEST(TransactionTest, AbortLifecycle) {
+  TransactionManager txns;
+  TxnId t = txns.Begin();
+  ASSERT_TRUE(txns.Abort(t).ok());
+  EXPECT_TRUE(txns.IsAborted(t));
+  EXPECT_FALSE(txns.Commit(t, 1).ok());
+}
+
+TEST(TransactionTest, UnknownTxnErrors) {
+  TransactionManager txns;
+  EXPECT_FALSE(txns.Commit(999, 1).ok());
+  EXPECT_FALSE(txns.Abort(999).ok());
+}
+
+TEST(TransactionTest, VisibilityBasic) {
+  TransactionManager txns;
+  TxnId writer = txns.Begin();
+  Snapshot before = txns.CurrentSnapshot();
+  EXPECT_FALSE(txns.IsVisible(writer, kInvalidTxn, before));
+  ASSERT_TRUE(txns.Commit(writer, 10).ok());
+  EXPECT_FALSE(txns.IsVisible(writer, kInvalidTxn, before));  // old snapshot
+  Snapshot after = txns.CurrentSnapshot();
+  EXPECT_TRUE(txns.IsVisible(writer, kInvalidTxn, after));
+}
+
+TEST(TransactionTest, OwnWritesVisible) {
+  TransactionManager txns;
+  TxnId me = txns.Begin();
+  Snapshot snap = txns.CurrentSnapshot();
+  EXPECT_TRUE(txns.IsVisible(me, kInvalidTxn, snap, me));
+  // My own delete hides the row from me.
+  EXPECT_FALSE(txns.IsVisible(me, me, snap, me));
+}
+
+TEST(TransactionTest, DeletedRowVisibilityByEra) {
+  TransactionManager txns;
+  TxnId creator = txns.Begin();
+  ASSERT_TRUE(txns.Commit(creator, 1).ok());
+  Snapshot alive = txns.CurrentSnapshot();
+  TxnId deleter = txns.Begin();
+  ASSERT_TRUE(txns.Commit(deleter, 2).ok());
+  Snapshot dead = txns.CurrentSnapshot();
+  EXPECT_TRUE(txns.IsVisible(creator, deleter, alive));
+  EXPECT_FALSE(txns.IsVisible(creator, deleter, dead));
+}
+
+TEST(TransactionTest, SnapshotAsOfTime) {
+  TransactionManager txns;
+  TxnId t1 = txns.Begin();
+  ASSERT_TRUE(txns.Commit(t1, 1000).ok());
+  TxnId t2 = txns.Begin();
+  ASSERT_TRUE(txns.Commit(t2, 2000).ok());
+  TxnId t3 = txns.Begin();
+  ASSERT_TRUE(txns.Commit(t3, 3000).ok());
+
+  Snapshot at0 = txns.SnapshotAsOf(999);
+  Snapshot at1 = txns.SnapshotAsOf(1000);
+  Snapshot at2 = txns.SnapshotAsOf(2500);
+  Snapshot at3 = txns.SnapshotAsOf(99999);
+
+  EXPECT_FALSE(txns.IsVisible(t1, kInvalidTxn, at0));
+  EXPECT_TRUE(txns.IsVisible(t1, kInvalidTxn, at1));
+  EXPECT_FALSE(txns.IsVisible(t2, kInvalidTxn, at1));
+  EXPECT_TRUE(txns.IsVisible(t2, kInvalidTxn, at2));
+  EXPECT_FALSE(txns.IsVisible(t3, kInvalidTxn, at2));
+  EXPECT_TRUE(txns.IsVisible(t3, kInvalidTxn, at3));
+}
+
+TEST(TransactionTest, SnapshotAsOfSameTimeTakesAll) {
+  TransactionManager txns;
+  TxnId a = txns.Begin(), b = txns.Begin();
+  ASSERT_TRUE(txns.Commit(a, 500).ok());
+  ASSERT_TRUE(txns.Commit(b, 500).ok());
+  Snapshot snap = txns.SnapshotAsOf(500);
+  EXPECT_TRUE(txns.IsVisible(a, kInvalidTxn, snap));
+  EXPECT_TRUE(txns.IsVisible(b, kInvalidTxn, snap));
+}
+
+TEST(TransactionTest, InvalidXminNeverVisible) {
+  TransactionManager txns;
+  EXPECT_FALSE(
+      txns.IsVisible(kInvalidTxn, kInvalidTxn, txns.CurrentSnapshot()));
+}
+
+}  // namespace
+}  // namespace streamrel::storage

@@ -1,0 +1,152 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace streamrel::storage {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest()
+      : disk_(std::make_shared<SimulatedDisk>()),
+        wal_(std::make_shared<WriteAheadLog>(disk_)) {}
+
+  std::shared_ptr<SimulatedDisk> disk_;
+  std::shared_ptr<WriteAheadLog> wal_;
+};
+
+TEST_F(WalTest, AppendAndReplay) {
+  WalRecord begin;
+  begin.type = WalRecordType::kBegin;
+  begin.txn_id = 7;
+  ASSERT_TRUE(wal_->Append(begin).ok());
+
+  WalRecord insert;
+  insert.type = WalRecordType::kInsert;
+  insert.txn_id = 7;
+  insert.object_name = "t";
+  insert.row = {Value::Int64(1), Value::String("abc")};
+  ASSERT_TRUE(wal_->Append(insert).ok());
+
+  WalRecord commit;
+  commit.type = WalRecordType::kCommit;
+  commit.txn_id = 7;
+  commit.int_payload = 12345;
+  ASSERT_TRUE(wal_->Append(commit).ok());
+
+  std::vector<WalRecord> replayed;
+  ASSERT_TRUE(wal_->Replay([&](const WalRecord& r) {
+                    replayed.push_back(r);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(replayed[0].type, WalRecordType::kBegin);
+  EXPECT_EQ(replayed[1].object_name, "t");
+  ASSERT_EQ(replayed[1].row.size(), 2u);
+  EXPECT_EQ(replayed[1].row[1].AsString(), "abc");
+  EXPECT_EQ(replayed[2].int_payload, 12345);
+}
+
+TEST_F(WalTest, ChannelProgressAndCheckpoint) {
+  WalRecord progress;
+  progress.type = WalRecordType::kChannelProgress;
+  progress.object_name = "ch";
+  progress.int_payload = 60'000'000;
+  ASSERT_TRUE(wal_->Append(progress).ok());
+
+  WalRecord checkpoint;
+  checkpoint.type = WalRecordType::kCheckpoint;
+  checkpoint.object_name = "cq1";
+  checkpoint.blob = std::string("\x00\x01\x02", 3);
+  ASSERT_TRUE(wal_->Append(checkpoint).ok());
+
+  std::vector<WalRecord> replayed;
+  ASSERT_TRUE(wal_->Replay([&](const WalRecord& r) {
+                    replayed.push_back(r);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].int_payload, 60'000'000);
+  EXPECT_EQ(replayed[1].blob.size(), 3u);
+}
+
+TEST_F(WalTest, SyncChargesOnlyPendingBytes) {
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  wal_->Sync();
+  int64_t bytes_after_first = disk_->stats().bytes_written;
+  EXPECT_GT(bytes_after_first, 0);
+  wal_->Sync();  // nothing pending
+  EXPECT_EQ(disk_->stats().bytes_written, bytes_after_first);
+  ASSERT_TRUE(wal_->Append(r).ok());
+  wal_->Sync();
+  EXPECT_GT(disk_->stats().bytes_written, bytes_after_first);
+}
+
+TEST_F(WalTest, SyncEveryAppendMode) {
+  WriteAheadLog eager(disk_, /*sync_every_append=*/true);
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  ASSERT_TRUE(eager.Append(r).ok());
+  EXPECT_GT(disk_->stats().bytes_written, 0);
+}
+
+TEST_F(WalTest, RecordCountAndSize) {
+  EXPECT_EQ(wal_->record_count(), 0);
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  ASSERT_TRUE(wal_->Append(r).ok());
+  EXPECT_EQ(wal_->record_count(), 2);
+  EXPECT_GT(wal_->byte_size(), 0);
+}
+
+TEST_F(WalTest, ResetClears) {
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  wal_->Reset();
+  EXPECT_EQ(wal_->record_count(), 0);
+  int n = 0;
+  ASSERT_TRUE(wal_->Replay([&](const WalRecord&) {
+                    ++n;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(n, 0);
+}
+
+TEST_F(WalTest, ReplayCallbackErrorPropagates) {
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  Status s = wal_->Replay(
+      [](const WalRecord&) { return Status::Internal("stop"); });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST_F(WalTest, RowWithAllValueTypesRoundTrips) {
+  WalRecord r;
+  r.type = WalRecordType::kInsert;
+  r.object_name = "t";
+  r.row = {Value::Null(),         Value::Bool(false), Value::Int64(-1),
+           Value::Double(2.5),    Value::String(""),  Value::Timestamp(99),
+           Value::Interval(-100)};
+  ASSERT_TRUE(wal_->Append(r).ok());
+  ASSERT_TRUE(wal_->Replay([&](const WalRecord& got) {
+                    EXPECT_EQ(got.row.size(), 7u);
+                    EXPECT_TRUE(got.row[0].is_null());
+                    EXPECT_EQ(got.row[6].AsIntervalMicros(), -100);
+                    return Status::OK();
+                  })
+                  .ok());
+}
+
+}  // namespace
+}  // namespace streamrel::storage

@@ -1,0 +1,271 @@
+#include "stream/window_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace streamrel::stream {
+namespace {
+
+constexpr int64_t kMin = kMicrosPerMinute;
+constexpr int64_t kSec = kMicrosPerSecond;
+
+WindowSpec Time(int64_t visible, int64_t advance) {
+  WindowSpec spec;
+  spec.kind = WindowSpec::Kind::kTime;
+  spec.visible = visible;
+  spec.advance = advance;
+  return spec;
+}
+
+WindowSpec Rows(int64_t visible, int64_t advance) {
+  WindowSpec spec;
+  spec.kind = WindowSpec::Kind::kRows;
+  spec.visible = visible;
+  spec.advance = advance;
+  return spec;
+}
+
+WindowSpec Slices(int64_t n) {
+  WindowSpec spec;
+  spec.kind = WindowSpec::Kind::kSlices;
+  spec.slices_count = n;
+  return spec;
+}
+
+Row R(int64_t v) { return Row{Value::Int64(v)}; }
+
+TEST(WindowOperatorTest, TumblingWindowBasics) {
+  WindowOperator op(Time(kMin, kMin));
+  std::vector<WindowBatch> closed;
+  // Rows at 10s, 20s, 70s: the row at 70s closes the [0, 60s) window.
+  ASSERT_TRUE(op.AddRow(10 * kMicrosPerSecond, R(1), &closed).ok());
+  ASSERT_TRUE(op.AddRow(20 * kMicrosPerSecond, R(2), &closed).ok());
+  EXPECT_TRUE(closed.empty());
+  ASSERT_TRUE(op.AddRow(70 * kMicrosPerSecond, R(3), &closed).ok());
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].close_micros, kMin);
+  EXPECT_EQ(closed[0].rows.size(), 2u);
+}
+
+TEST(WindowOperatorTest, SlidingWindowOverlap) {
+  // VISIBLE 2 min, ADVANCE 1 min: each row appears in two windows.
+  WindowOperator op(Time(2 * kMin, kMin));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AddRow(30 * kMicrosPerSecond, R(1), &closed).ok());
+  ASSERT_TRUE(op.AdvanceTime(3 * kMin, &closed).ok());
+  ASSERT_EQ(closed.size(), 3u);  // closes at 1, 2, 3 min
+  EXPECT_EQ(closed[0].rows.size(), 1u);  // [-1min, 1min)
+  EXPECT_EQ(closed[1].rows.size(), 1u);  // [0, 2min)
+  EXPECT_EQ(closed[2].rows.size(), 0u);  // [1min, 3min)
+}
+
+TEST(WindowOperatorTest, RowAtCloseBoundaryBelongsToNextWindow) {
+  WindowOperator op(Time(kMin, kMin));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AddRow(1, R(1), &closed).ok());
+  ASSERT_TRUE(op.AddRow(kMin, R(2), &closed).ok());  // exactly at close
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].rows.size(), 1u);  // only the first row
+  closed.clear();
+  ASSERT_TRUE(op.AdvanceTime(2 * kMin, &closed).ok());
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].rows.size(), 1u);  // the boundary row
+}
+
+TEST(WindowOperatorTest, EmptyWindowsAreEmitted) {
+  WindowOperator op(Time(kMin, kMin));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AddRow(1, R(1), &closed).ok());
+  ASSERT_TRUE(op.AdvanceTime(5 * kMin, &closed).ok());
+  ASSERT_EQ(closed.size(), 5u);
+  EXPECT_EQ(closed[0].rows.size(), 1u);
+  for (size_t i = 1; i < 5; ++i) EXPECT_TRUE(closed[i].rows.empty());
+}
+
+TEST(WindowOperatorTest, NoWindowsBeforeFirstRow) {
+  WindowOperator op(Time(kMin, kMin));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AdvanceTime(10 * kMin, &closed).ok());
+  EXPECT_TRUE(closed.empty());
+}
+
+TEST(WindowOperatorTest, OutOfOrderRejected) {
+  WindowOperator op(Time(kMin, kMin));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AddRow(100, R(1), &closed).ok());
+  EXPECT_FALSE(op.AddRow(99, R(2), &closed).ok());
+  // Equal timestamps are fine.
+  EXPECT_TRUE(op.AddRow(100, R(3), &closed).ok());
+}
+
+TEST(WindowOperatorTest, WatermarkRegressionRejected) {
+  WindowOperator op(Time(kMin, kMin));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AdvanceTime(1000, &closed).ok());
+  EXPECT_FALSE(op.AdvanceTime(999, &closed).ok());
+}
+
+TEST(WindowOperatorTest, EvictionBoundsBuffer) {
+  WindowOperator op(Time(2 * kMin, kMin));
+  std::vector<WindowBatch> closed;
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(op.AddRow(i * kMicrosPerSecond, R(i), &closed).ok());
+  }
+  // Only rows within the last VISIBLE span (plus the current partial
+  // advance) stay buffered: far fewer than all 600.
+  EXPECT_LE(op.buffered_rows(), 180u);
+}
+
+TEST(WindowOperatorTest, RowWindowTumbling) {
+  WindowOperator op(Rows(3, 3));
+  std::vector<WindowBatch> closed;
+  for (int i = 1; i <= 7; ++i) {
+    ASSERT_TRUE(op.AddRow(i, R(i), &closed).ok());
+  }
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].close_micros, 3);  // ts of newest row
+  ASSERT_EQ(closed[0].rows.size(), 3u);
+  EXPECT_EQ(closed[0].rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(closed[1].rows[2][0].AsInt64(), 6);
+}
+
+TEST(WindowOperatorTest, RowWindowSliding) {
+  WindowOperator op(Rows(4, 2));
+  std::vector<WindowBatch> closed;
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(op.AddRow(i, R(i), &closed).ok());
+  }
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(closed[0].rows.size(), 2u);  // warm-up: only 2 rows yet
+  EXPECT_EQ(closed[1].rows.size(), 4u);  // rows 1-4
+  EXPECT_EQ(closed[2].rows.size(), 4u);  // rows 3-6
+  EXPECT_EQ(closed[2].rows[0][0].AsInt64(), 3);
+}
+
+TEST(WindowOperatorTest, SlicesOfBatches) {
+  WindowOperator op(Slices(2));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AddBatch(100, {R(1), R(2)}, &closed).ok());
+  EXPECT_TRUE(closed.empty());
+  ASSERT_TRUE(op.AddBatch(200, {R(3)}, &closed).ok());
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].close_micros, 200);
+  EXPECT_EQ(closed[0].rows.size(), 3u);
+}
+
+TEST(WindowOperatorTest, SlicesOneWindowPassesThrough) {
+  WindowOperator op(Slices(1));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AddBatch(100, {R(1), R(2)}, &closed).ok());
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].rows.size(), 2u);
+  closed.clear();
+  ASSERT_TRUE(op.AddBatch(200, {}, &closed).ok());
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_TRUE(closed[0].rows.empty());
+}
+
+TEST(WindowOperatorTest, TimeWindowOverBatches) {
+  // A time window over a derived stream: rows adopt close-1 as their
+  // timestamp, so the batch closing at exactly 2min falls INSIDE the
+  // downstream window [0, 2min).
+  WindowOperator op(Time(2 * kMin, 2 * kMin));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AddBatch(kMin, {R(1)}, &closed).ok());
+  ASSERT_TRUE(op.AddBatch(2 * kMin, {R(2)}, &closed).ok());
+  ASSERT_TRUE(op.AddBatch(3 * kMin, {R(3)}, &closed).ok());
+  ASSERT_TRUE(op.AddBatch(4 * kMin, {R(4)}, &closed).ok());
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].close_micros, 2 * kMin);
+  EXPECT_EQ(closed[0].rows.size(), 2u);  // the 1min and 2min batches
+  EXPECT_EQ(closed[1].rows.size(), 2u);  // the 3min and 4min batches
+}
+
+TEST(WindowOperatorTest, SerializeRestoreRoundTrip) {
+  WindowOperator op(Time(2 * kMin, kMin));
+  std::vector<WindowBatch> closed;
+  for (int i = 0; i < 90; ++i) {
+    ASSERT_TRUE(op.AddRow(i * kMicrosPerSecond, R(i), &closed).ok());
+  }
+  std::string blob;
+  op.Serialize(&blob);
+
+  WindowOperator restored(Time(2 * kMin, kMin));
+  ASSERT_TRUE(restored.Restore(blob).ok());
+  EXPECT_EQ(restored.buffered_rows(), op.buffered_rows());
+
+  // Both operators produce identical output from here on.
+  std::vector<WindowBatch> a, b;
+  ASSERT_TRUE(op.AdvanceTime(5 * kMin, &a).ok());
+  ASSERT_TRUE(restored.AdvanceTime(5 * kMin, &b).ok());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].close_micros, b[i].close_micros);
+    EXPECT_EQ(a[i].rows.size(), b[i].rows.size());
+  }
+}
+
+TEST(WindowOperatorTest, RestoreRejectsTruncatedBlob) {
+  WindowOperator op(Time(kMin, kMin));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AddRow(1, R(1), &closed).ok());
+  std::string blob;
+  op.Serialize(&blob);
+  blob.resize(blob.size() / 2);
+  WindowOperator other(Time(kMin, kMin));
+  EXPECT_FALSE(other.Restore(blob).ok());
+}
+
+TEST(WindowOperatorTest, ResetToWatermarkSuppressesOldCloses) {
+  WindowOperator op(Time(kMin, kMin));
+  op.ResetToWatermark(5 * kMin);
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AdvanceTime(7 * kMin, &closed).ok());
+  ASSERT_EQ(closed.size(), 2u);  // 6min and 7min only
+  EXPECT_EQ(closed[0].close_micros, 6 * kMin);
+}
+
+TEST(WindowOperatorTest, ResetAcceptsReplayOfOpenSlidingRegion) {
+  // VISIBLE 3min ADVANCE 1min, watermark 5min: windows closing at 6min+
+  // still need rows from [3min, 5min); a recovery source replays them.
+  WindowOperator op(Time(3 * kMin, kMin));
+  op.ResetToWatermark(5 * kMin);
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AddRow(3 * kMin + kSec, R(1), &closed).ok());  // replayed
+  ASSERT_TRUE(op.AddRow(4 * kMin + kSec, R(2), &closed).ok());  // replayed
+  EXPECT_TRUE(closed.empty());  // no closes at or before the watermark
+  ASSERT_TRUE(op.AddRow(5 * kMin + kSec, R(3), &closed).ok());  // new data
+  ASSERT_TRUE(op.AdvanceTime(6 * kMin, &closed).ok());
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].close_micros, 6 * kMin);
+  EXPECT_EQ(closed[0].rows.size(), 3u);  // [3min, 6min): all three
+  // Rows older than the re-priming bound are still rejected.
+  WindowOperator strict(Time(3 * kMin, kMin));
+  strict.ResetToWatermark(5 * kMin);
+  EXPECT_FALSE(strict.AddRow(kMin, R(9), &closed).ok());
+}
+
+TEST(WindowOperatorTest, ResetTumblingNeedsNoReplay) {
+  // VISIBLE == ADVANCE: nothing before the watermark is ever needed, so
+  // replayed older rows are rejected outright.
+  WindowOperator op(Time(kMin, kMin));
+  op.ResetToWatermark(5 * kMin);
+  std::vector<WindowBatch> closed;
+  EXPECT_FALSE(op.AddRow(4 * kMin + kSec, R(1), &closed).ok());
+  EXPECT_TRUE(op.AddRow(5 * kMin + kSec, R(2), &closed).ok());
+}
+
+TEST(WindowOperatorTest, StartAtEnablesWatermarkOnlyScheduling) {
+  WindowOperator op(Time(kMin, kMin));
+  std::vector<WindowBatch> closed;
+  ASSERT_TRUE(op.AdvanceTime(30 * kMicrosPerSecond, &closed).ok());
+  EXPECT_TRUE(closed.empty());  // not started
+  op.StartAt(30 * kMicrosPerSecond);
+  ASSERT_TRUE(op.AdvanceTime(2 * kMin, &closed).ok());
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_TRUE(closed[0].rows.empty());  // shared CQs don't buffer rows here
+}
+
+}  // namespace
+}  // namespace streamrel::stream

@@ -1,0 +1,96 @@
+#include "stream/window.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace streamrel::stream {
+namespace {
+
+sql::WindowSpecAst TimeAst(int64_t visible, int64_t advance) {
+  sql::WindowSpecAst ast;
+  ast.unit = sql::WindowUnit::kTime;
+  ast.visible = visible;
+  ast.advance = advance;
+  return ast;
+}
+
+TEST(WindowSpecTest, FromTimeAst) {
+  auto spec = WindowSpec::FromAst(TimeAst(5 * kMicrosPerMinute,
+                                          kMicrosPerMinute));
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->kind, WindowSpec::Kind::kTime);
+  EXPECT_TRUE(spec->is_sliding());
+  EXPECT_EQ(spec->SliceWidthMicros(), kMicrosPerMinute);
+}
+
+TEST(WindowSpecTest, TumblingIsNotSliding) {
+  auto spec = WindowSpec::FromAst(TimeAst(kMicrosPerMinute,
+                                          kMicrosPerMinute));
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->is_sliding());
+  EXPECT_EQ(spec->SliceWidthMicros(), kMicrosPerMinute);
+}
+
+TEST(WindowSpecTest, GcdSlicing) {
+  // VISIBLE 90s ADVANCE 60s -> slices of 30s.
+  auto spec = WindowSpec::FromAst(TimeAst(90 * kMicrosPerSecond,
+                                          60 * kMicrosPerSecond));
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->SliceWidthMicros(), 30 * kMicrosPerSecond);
+}
+
+TEST(WindowSpecTest, RowsAst) {
+  sql::WindowSpecAst ast;
+  ast.unit = sql::WindowUnit::kRows;
+  ast.visible = 100;
+  ast.advance = 10;
+  auto spec = WindowSpec::FromAst(ast);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->kind, WindowSpec::Kind::kRows);
+}
+
+TEST(WindowSpecTest, SlicesAst) {
+  sql::WindowSpecAst ast;
+  ast.is_slices = true;
+  ast.slices_count = 3;
+  auto spec = WindowSpec::FromAst(ast);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->kind, WindowSpec::Kind::kSlices);
+  EXPECT_EQ(spec->slices_count, 3);
+}
+
+TEST(WindowSpecTest, InvalidInputs) {
+  EXPECT_FALSE(WindowSpec::FromAst(TimeAst(0, 1)).ok());
+  EXPECT_FALSE(WindowSpec::FromAst(TimeAst(1, 0)).ok());
+  sql::WindowSpecAst bad_slices;
+  bad_slices.is_slices = true;
+  bad_slices.slices_count = 0;
+  EXPECT_FALSE(WindowSpec::FromAst(bad_slices).ok());
+}
+
+TEST(WindowSpecTest, FirstCloseAfter) {
+  auto spec = WindowSpec::FromAst(TimeAst(5 * kMicrosPerMinute,
+                                          kMicrosPerMinute));
+  ASSERT_TRUE(spec.ok());
+  // At exactly a boundary, the next close is the following boundary.
+  EXPECT_EQ(spec->FirstCloseAfter(0), kMicrosPerMinute);
+  EXPECT_EQ(spec->FirstCloseAfter(kMicrosPerMinute), 2 * kMicrosPerMinute);
+  EXPECT_EQ(spec->FirstCloseAfter(kMicrosPerMinute + 1),
+            2 * kMicrosPerMinute);
+  EXPECT_EQ(spec->FirstCloseAfter(kMicrosPerMinute - 1), kMicrosPerMinute);
+}
+
+TEST(WindowSpecTest, ToStringRendersAll) {
+  EXPECT_EQ(WindowSpec::FromAst(TimeAst(5 * kMicrosPerMinute,
+                                        kMicrosPerMinute))
+                ->ToString(),
+            "<VISIBLE '5 minutes' ADVANCE '1 minute'>");
+  sql::WindowSpecAst slices;
+  slices.is_slices = true;
+  slices.slices_count = 2;
+  EXPECT_EQ(WindowSpec::FromAst(slices)->ToString(), "<SLICES 2 WINDOWS>");
+}
+
+}  // namespace
+}  // namespace streamrel::stream
