@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex2_topk_cq.dir/bench_ex2_topk_cq.cc.o"
+  "CMakeFiles/bench_ex2_topk_cq.dir/bench_ex2_topk_cq.cc.o.d"
+  "bench_ex2_topk_cq"
+  "bench_ex2_topk_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex2_topk_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex4_active_table.dir/bench_ex4_active_table.cc.o"
+  "CMakeFiles/bench_ex4_active_table.dir/bench_ex4_active_table.cc.o.d"
+  "bench_ex4_active_table"
+  "bench_ex4_active_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex4_active_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex5_historical_join.dir/bench_ex5_historical_join.cc.o"
+  "CMakeFiles/bench_ex5_historical_join.dir/bench_ex5_historical_join.cc.o.d"
+  "bench_ex5_historical_join"
+  "bench_ex5_historical_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex5_historical_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_windows.dir/bench_fig1_windows.cc.o"
+  "CMakeFiles/bench_fig1_windows.dir/bench_fig1_windows.cc.o.d"
+  "bench_fig1_windows"
+  "bench_fig1_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

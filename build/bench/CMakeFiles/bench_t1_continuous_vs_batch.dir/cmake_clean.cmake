@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_continuous_vs_batch.dir/bench_t1_continuous_vs_batch.cc.o"
+  "CMakeFiles/bench_t1_continuous_vs_batch.dir/bench_t1_continuous_vs_batch.cc.o.d"
+  "bench_t1_continuous_vs_batch"
+  "bench_t1_continuous_vs_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_continuous_vs_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_shared_cqs.dir/bench_t2_shared_cqs.cc.o"
+  "CMakeFiles/bench_t2_shared_cqs.dir/bench_t2_shared_cqs.cc.o.d"
+  "bench_t2_shared_cqs"
+  "bench_t2_shared_cqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_shared_cqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_data_growth.dir/bench_t4_data_growth.cc.o"
+  "CMakeFiles/bench_t4_data_growth.dir/bench_t4_data_growth.cc.o.d"
+  "bench_t4_data_growth"
+  "bench_t4_data_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_data_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

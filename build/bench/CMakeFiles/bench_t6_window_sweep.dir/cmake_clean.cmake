@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_window_sweep.dir/bench_t6_window_sweep.cc.o"
+  "CMakeFiles/bench_t6_window_sweep.dir/bench_t6_window_sweep.cc.o.d"
+  "bench_t6_window_sweep"
+  "bench_t6_window_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_window_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

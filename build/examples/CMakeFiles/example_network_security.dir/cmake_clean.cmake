@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_security.dir/network_security.cpp.o"
+  "CMakeFiles/example_network_security.dir/network_security.cpp.o.d"
+  "example_network_security"
+  "example_network_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

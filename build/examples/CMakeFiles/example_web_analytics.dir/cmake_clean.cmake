@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_web_analytics.dir/web_analytics.cpp.o"
+  "CMakeFiles/example_web_analytics.dir/web_analytics.cpp.o.d"
+  "example_web_analytics"
+  "example_web_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_web_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/streamrel.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/streamrel.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/streamrel.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/streamrel.dir/common/status.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/streamrel.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/time.cc" "src/CMakeFiles/streamrel.dir/common/time.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/common/time.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/streamrel.dir/common/value.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/common/value.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/streamrel.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/engine/database.cc.o.d"
+  "/root/repo/src/exec/aggregates.cc" "src/CMakeFiles/streamrel.dir/exec/aggregates.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/exec/aggregates.cc.o.d"
+  "/root/repo/src/exec/binder.cc" "src/CMakeFiles/streamrel.dir/exec/binder.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/exec/binder.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/streamrel.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/streamrel.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "src/CMakeFiles/streamrel.dir/exec/planner.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/exec/planner.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/streamrel.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/streamrel.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/streamrel.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/btree_index.cc" "src/CMakeFiles/streamrel.dir/storage/btree_index.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/storage/btree_index.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/CMakeFiles/streamrel.dir/storage/disk.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/storage/disk.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/CMakeFiles/streamrel.dir/storage/heap_table.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/storage/heap_table.cc.o.d"
+  "/root/repo/src/storage/transaction.cc" "src/CMakeFiles/streamrel.dir/storage/transaction.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/storage/transaction.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/streamrel.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/storage/wal.cc.o.d"
+  "/root/repo/src/stream/channel.cc" "src/CMakeFiles/streamrel.dir/stream/channel.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/stream/channel.cc.o.d"
+  "/root/repo/src/stream/continuous_query.cc" "src/CMakeFiles/streamrel.dir/stream/continuous_query.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/stream/continuous_query.cc.o.d"
+  "/root/repo/src/stream/recovery.cc" "src/CMakeFiles/streamrel.dir/stream/recovery.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/stream/recovery.cc.o.d"
+  "/root/repo/src/stream/reorder_buffer.cc" "src/CMakeFiles/streamrel.dir/stream/reorder_buffer.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/stream/reorder_buffer.cc.o.d"
+  "/root/repo/src/stream/runtime.cc" "src/CMakeFiles/streamrel.dir/stream/runtime.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/stream/runtime.cc.o.d"
+  "/root/repo/src/stream/shared_aggregation.cc" "src/CMakeFiles/streamrel.dir/stream/shared_aggregation.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/stream/shared_aggregation.cc.o.d"
+  "/root/repo/src/stream/window.cc" "src/CMakeFiles/streamrel.dir/stream/window.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/stream/window.cc.o.d"
+  "/root/repo/src/stream/window_operator.cc" "src/CMakeFiles/streamrel.dir/stream/window_operator.cc.o" "gcc" "src/CMakeFiles/streamrel.dir/stream/window_operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_query_test.dir/continuous_query_test.cc.o"
+  "CMakeFiles/continuous_query_test.dir/continuous_query_test.cc.o.d"
+  "continuous_query_test"
+  "continuous_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_aggregation_test.dir/shared_aggregation_test.cc.o"
+  "CMakeFiles/shared_aggregation_test.dir/shared_aggregation_test.cc.o.d"
+  "shared_aggregation_test"
+  "shared_aggregation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

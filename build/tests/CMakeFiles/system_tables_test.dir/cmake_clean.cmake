@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_tables_test.dir/system_tables_test.cc.o"
+  "CMakeFiles/system_tables_test.dir/system_tables_test.cc.o.d"
+  "system_tables_test"
+  "system_tables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

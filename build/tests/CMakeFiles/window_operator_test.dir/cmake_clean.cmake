@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_operator_test.dir/window_operator_test.cc.o"
+  "CMakeFiles/window_operator_test.dir/window_operator_test.cc.o.d"
+  "window_operator_test"
+  "window_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
