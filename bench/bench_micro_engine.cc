@@ -121,6 +121,30 @@ void BM_WalAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_WalAppend);
 
+// The ingest hot path with the observability layer off (Arg 0) vs on
+// (Arg 1): one shared-aggregate CQ over a raw stream, batches of 1k rows.
+// The per-row cost must be indistinguishable — metrics are pushed as
+// batch-level counter adds, never per-row work.
+void BM_IngestHotPath(benchmark::State& state) {
+  const bool metrics_on = state.range(0) != 0;
+  engine::Database db;
+  Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+  auto cq = db.CreateContinuousQuery(
+      "top_urls",
+      "SELECT url, count(*) FROM url_stream <VISIBLE '1 minute'> "
+      "GROUP BY url");
+  Check(cq.status(), "cq");
+  db.runtime()->metrics()->set_enabled(metrics_on);
+  UrlClickWorkload workload(100, 1000);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    Check(db.Ingest("url_stream", workload.NextBatch(1000)), "ingest");
+    rows += 1000;
+  }
+  state.SetItemsProcessed(rows);
+}
+BENCHMARK(BM_IngestHotPath)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_SnapshotAggregateQuery(benchmark::State& state) {
   engine::Database db;
   Check(db.Execute(UrlClickWorkload::TableDdl()).status(), "ddl");

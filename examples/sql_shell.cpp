@@ -8,7 +8,8 @@
 //   streamrel> \advance s 2009-01-05 09:01:00
 //   cq_1 @ 2009-01-05 09:01:00: (5)
 //
-// Meta commands: \advance <stream> <timestamp>, \cqs, \drop <cq>, \q.
+// Meta commands: \advance <stream> <timestamp>, \cqs, \stats, \drop <cq>,
+// \q.
 // Statements end with ';' and may span lines. Snapshot SELECTs print a
 // result table; SELECTs over windowed streams register continuous
 // queries whose results print as windows close — the stream-relational
@@ -160,6 +161,8 @@ class Shell {
       printf("  \\drop <cq-name>             stop a continuous query\n");
       printf("  \\copy <table|stream> <file> load a CSV (first line = "
              "header)\n");
+      printf("  \\stats [cq|stream|channel <name>]  engine metrics "
+             "(same as SHOW STATS)\n");
       printf("  \\export <file> <query>;     write a snapshot query's "
              "result as CSV\n");
       printf("  \\q                          quit\n");
@@ -276,6 +279,19 @@ class Shell {
                cq->stream_name().c_str(), cq->window().ToString().c_str(),
                static_cast<long long>(cq->windows_evaluated()),
                cq->is_shared() ? "shared" : "generic");
+      }
+      return true;
+    }
+    if (op == "\\stats") {
+      std::string kind, name;
+      in >> kind >> name;
+      std::string sql = "SHOW STATS";
+      if (!kind.empty()) sql += " FOR " + kind + " " + name;
+      auto result = db_.Execute(sql);
+      if (!result.ok()) {
+        printf("ERROR: %s\n", result.status().ToString().c_str());
+      } else {
+        PrintTable(result->schema, result->rows);
       }
       return true;
     }

@@ -51,6 +51,8 @@ Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
     case sql::StatementKind::kTransaction:
       return ExecuteTransaction(
           static_cast<const sql::TransactionStmt&>(stmt));
+    case sql::StatementKind::kShowStats:
+      return ExecuteShowStats(static_cast<const sql::ShowStatsStmt&>(stmt));
     case sql::StatementKind::kCreateTable:
       return ExecuteCreateTable(
           static_cast<const sql::CreateTableStmt&>(stmt));
@@ -485,6 +487,88 @@ Result<QueryResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt) {
         plan.stream_leaves[0].window.ToString() + ")")});
   }
   result.message = "EXPLAIN";
+  return result;
+}
+
+EngineStats Database::StatsSnapshot() {
+  stream::MetricsRegistry* metrics = runtime_.metrics();
+  runtime_.RefreshMetricsGauges();
+  EngineStats stats;
+  stats.wal_records = wal_->record_count();
+  stats.wal_bytes = wal_->byte_size();
+  stats.disk = disk_->stats();
+  metrics->GetGauge("engine", "wal", "records")->Set(stats.wal_records);
+  metrics->GetGauge("engine", "wal", "bytes")->Set(stats.wal_bytes);
+  metrics->GetGauge("engine", "disk", "page_reads")
+      ->Set(stats.disk.page_reads);
+  metrics->GetGauge("engine", "disk", "page_writes")
+      ->Set(stats.disk.page_writes);
+  metrics->GetGauge("engine", "disk", "cache_hits")
+      ->Set(stats.disk.cache_hits);
+  metrics->GetGauge("engine", "disk", "bytes_read")
+      ->Set(stats.disk.bytes_read);
+  metrics->GetGauge("engine", "disk", "bytes_written")
+      ->Set(stats.disk.bytes_written);
+  metrics->GetGauge("engine", "disk", "simulated_io_micros")
+      ->Set(stats.disk.simulated_io_micros);
+  stats.metrics = metrics->Snapshot();
+  return stats;
+}
+
+Result<QueryResult> Database::ExecuteShowStats(
+    const sql::ShowStatsStmt& stmt) {
+  using Target = sql::ShowStatsStmt::Target;
+  std::string filter_scope;
+  const std::string filter_name = ToLower(stmt.name);
+  switch (stmt.target) {
+    case Target::kAll:
+      break;
+    case Target::kCq:
+      if (runtime_.GetCq(stmt.name) == nullptr) {
+        return Status::NotFound("continuous query '" + stmt.name +
+                                "' not found");
+      }
+      filter_scope = "cq";
+      break;
+    case Target::kStream:
+      if (catalog_.GetStream(stmt.name) == nullptr) {
+        return Status::NotFound("stream '" + stmt.name + "' not found");
+      }
+      // A catalogued stream may not have seen runtime traffic yet; register
+      // it so its metric cells exist and the filter returns rows.
+      RETURN_IF_ERROR(runtime_.RegisterStream(stmt.name));
+      filter_scope = "stream";
+      break;
+    case Target::kChannel:
+      if (runtime_.GetChannel(stmt.name) == nullptr) {
+        return Status::NotFound("channel '" + stmt.name +
+                                "' is not running");
+      }
+      filter_scope = "channel";
+      break;
+  }
+  EngineStats stats = StatsSnapshot();
+  QueryResult result;
+  result.schema = Schema({Column("scope", DataType::kString),
+                          Column("name", DataType::kString),
+                          Column("metric", DataType::kString),
+                          Column("value", DataType::kInt64)});
+  for (const stream::MetricSample& sample : stats.metrics) {
+    if (!filter_scope.empty() &&
+        (sample.scope != filter_scope || sample.name != filter_name)) {
+      continue;
+    }
+    // Timestamp gauges report micros; INT64_MIN means "never set" and
+    // surfaces as NULL rather than a nonsense number.
+    Value value = sample.is_timestamp && sample.value == INT64_MIN
+                      ? Value::Null()
+                      : Value::Int64(sample.value);
+    result.rows.push_back(Row{Value::String(sample.scope),
+                              Value::String(sample.name),
+                              Value::String(sample.metric),
+                              std::move(value)});
+  }
+  result.message = "SHOW STATS " + std::to_string(result.rows.size());
   return result;
 }
 

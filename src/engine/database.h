@@ -36,6 +36,17 @@ struct QueryResult {
   std::string message;  // e.g. "CREATE TABLE", "INSERT 3"
 };
 
+/// Point-in-time engine statistics: the full metrics-registry snapshot
+/// (every per-stream/CQ/channel/aggregator counter and gauge the runtime
+/// tracks) plus storage-layer totals. `SHOW STATS` returns the same data
+/// as rows.
+struct EngineStats {
+  std::vector<stream::MetricSample> metrics;
+  storage::DiskStats disk;
+  int64_t wal_records = 0;
+  int64_t wal_bytes = 0;
+};
+
 /// The stream-relational database: a full SQL engine (tables, indexes,
 /// MVCC transactions, WAL) with TruSQL stream extensions (streams, windows,
 /// continuous queries, derived streams, channels, active tables) —
@@ -105,6 +116,10 @@ class Database {
   /// automatically before every snapshot SELECT; exposed for tools.
   Status RefreshSystemTables();
 
+  /// Refreshes pull-style gauges (and WAL/disk totals) and returns the
+  /// complete metrics snapshot. The struct-API twin of `SHOW STATS`.
+  EngineStats StatsSnapshot();
+
  private:
   Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
   Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt);
@@ -114,6 +129,7 @@ class Database {
   Result<QueryResult> ExecuteVacuum(const sql::VacuumStmt& stmt);
   Result<QueryResult> ExecuteExplain(const sql::ExplainStmt& stmt);
   Result<QueryResult> ExecuteTransaction(const sql::TransactionStmt& stmt);
+  Result<QueryResult> ExecuteShowStats(const sql::ShowStatsStmt& stmt);
 
   /// The write transaction for a DML statement: the open explicit
   /// transaction if any (already WAL-logged), else a fresh autocommit one

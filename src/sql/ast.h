@@ -181,6 +181,7 @@ enum class StatementKind {
   kVacuum,
   kExplain,
   kTransaction,  // BEGIN / COMMIT / ROLLBACK
+  kShowStats,    // SHOW STATS [FOR CQ|STREAM|CHANNEL <name>]
 };
 
 struct Statement {
@@ -253,6 +254,17 @@ struct ExplainStmt : Statement {
   std::unique_ptr<SelectStmt> select;
 
   StatementKind kind() const override { return StatementKind::kExplain; }
+};
+
+/// SHOW STATS [FOR CQ|STREAM|CHANNEL <name>]: engine observability as
+/// ordinary rows (scope, name, metric, value). Without FOR, every metric
+/// the engine tracks is returned.
+struct ShowStatsStmt : Statement {
+  enum class Target { kAll, kCq, kStream, kChannel };
+  Target target = Target::kAll;
+  std::string name;  // empty for kAll
+
+  StatementKind kind() const override { return StatementKind::kShowStats; }
 };
 
 enum class TransactionOp { kBegin, kCommit, kRollback };

@@ -122,6 +122,7 @@ class Parser {
       ASSIGN_OR_RETURN(stmt->select, ParseSelect());
       return StatementPtr(std::move(stmt));
     }
+    if (MatchKeyword("show")) return ParseShowStats();
     if (MatchKeyword("begin") || MatchKeyword("start")) {
       MatchKeyword("transaction");
       MatchKeyword("work");
@@ -145,7 +146,26 @@ class Parser {
     }
     return Result<StatementPtr>(
         Error("expected SELECT, INSERT, UPDATE, DELETE, CREATE, DROP, "
-              "VACUUM, or EXPLAIN"));
+              "VACUUM, EXPLAIN, or SHOW"));
+  }
+
+  Result<StatementPtr> ParseShowStats() {
+    RETURN_IF_ERROR(ExpectKeyword("stats"));
+    auto stmt = std::make_unique<ShowStatsStmt>();
+    if (MatchKeyword("for")) {
+      if (MatchKeyword("cq")) {
+        stmt->target = ShowStatsStmt::Target::kCq;
+      } else if (MatchKeyword("stream")) {
+        stmt->target = ShowStatsStmt::Target::kStream;
+      } else if (MatchKeyword("channel")) {
+        stmt->target = ShowStatsStmt::Target::kChannel;
+      } else {
+        return Result<StatementPtr>(
+            Error("expected CQ, STREAM, or CHANNEL after FOR"));
+      }
+      ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("object name"));
+    }
+    return StatementPtr(std::move(stmt));
   }
 
   Result<StatementPtr> ParseUpdate() {

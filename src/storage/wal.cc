@@ -81,6 +81,10 @@ Result<WalRecord> WriteAheadLog::Decode(const std::string& data,
 Status WriteAheadLog::Append(const WalRecord& record) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (inject_append_failures_ > 0) {
+      --inject_append_failures_;
+      return Status::IoError("injected WAL append failure");
+    }
     Encode(record, &log_);
     ++record_count_;
   }
@@ -125,6 +129,11 @@ void WriteAheadLog::Reset() {
 int64_t WriteAheadLog::record_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return record_count_;
+}
+
+void WriteAheadLog::InjectAppendFailures(int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inject_append_failures_ = count;
 }
 
 int64_t WriteAheadLog::byte_size() const {

@@ -63,6 +63,10 @@ class WriteAheadLog {
   int64_t record_count() const;
   int64_t byte_size() const;
 
+  /// Test hook: makes the next `count` Append calls fail with kIoError
+  /// without logging anything, simulating a device that rejects writes.
+  void InjectAppendFailures(int64_t count);
+
  private:
   static void Encode(const WalRecord& record, std::string* out);
   static Result<WalRecord> Decode(const std::string& data, size_t* offset);
@@ -73,6 +77,7 @@ class WriteAheadLog {
   std::string log_;          // the durable image
   int64_t synced_bytes_ = 0;  // prefix of log_ already charged
   int64_t record_count_ = 0;
+  int64_t inject_append_failures_ = 0;
 };
 
 }  // namespace streamrel::storage

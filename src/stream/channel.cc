@@ -121,9 +121,14 @@ Channel::Channel(catalog::ChannelInfo info, catalog::TableInfo* table,
 Status Channel::OnRawRows(int64_t at, const std::vector<Row>& rows) {
   if (at < watermark_ || rows.empty()) return Status::OK();
   // Temporarily lower the recorded watermark so OnBatch accepts `at` even
-  // when it equals the previous group's watermark.
+  // when it equals the previous group's watermark. If the batch fails, the
+  // prior watermark must come back: leaving it at `at - 1` would let a
+  // redelivered earlier group slip past the dedup check and double-apply.
+  const int64_t prior = watermark_;
   watermark_ = at - 1;
-  return OnBatch(at, rows);
+  Status status = OnBatch(at, rows);
+  if (!status.ok()) watermark_ = prior;
+  return status;
 }
 
 Status Channel::OnBatch(int64_t close, const std::vector<Row>& rows) {
@@ -175,6 +180,11 @@ Status Channel::OnBatch(int64_t close, const std::vector<Row>& rows) {
   watermark_ = close;
   ++batches_persisted_;
   rows_persisted_ += static_cast<int64_t>(rows.size());
+  if (batches_metric_ != nullptr) batches_metric_->Add();
+  if (rows_metric_ != nullptr) {
+    rows_metric_->Add(static_cast<int64_t>(rows.size()));
+  }
+  if (watermark_metric_ != nullptr) watermark_metric_->Set(close);
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "storage/transaction.h"
 #include "storage/wal.h"
+#include "stream/metrics.h"
 
 namespace streamrel::stream {
 
@@ -47,6 +48,15 @@ class Channel {
   int64_t batches_persisted() const { return batches_persisted_; }
   int64_t rows_persisted() const { return rows_persisted_; }
 
+  /// Optional observability hookup: mirrors persisted batch/row counts and
+  /// the last commit watermark into registry-owned metrics. Any pointer
+  /// may be null.
+  void BindMetrics(Counter* batches, Counter* rows, Gauge* commit_watermark) {
+    batches_metric_ = batches;
+    rows_metric_ = rows;
+    watermark_metric_ = commit_watermark;
+  }
+
  private:
   /// Inserts `row` (cast to the table's column types) and maintains
   /// indexes; WAL-logs the insert.
@@ -59,6 +69,9 @@ class Channel {
   int64_t watermark_ = INT64_MIN;
   int64_t batches_persisted_ = 0;
   int64_t rows_persisted_ = 0;
+  Counter* batches_metric_ = nullptr;
+  Counter* rows_metric_ = nullptr;
+  Gauge* watermark_metric_ = nullptr;
 };
 
 /// Shared helper: inserts a row into a table with type coercion, index

@@ -52,6 +52,16 @@ const std::vector<SliceAggregator*>& SliceAggregatorRegistry::ForStream(
   return by_stream_[ToLower(stream_name)];
 }
 
+std::vector<SliceAggregatorRegistry::PipelineRef>
+SliceAggregatorRegistry::Pipelines() const {
+  std::vector<PipelineRef> refs;
+  refs.reserve(aggregators_.size());
+  for (const auto& [key, entry] : aggregators_) {
+    refs.push_back(PipelineRef{key, entry.stream, entry.aggregator.get()});
+  }
+  return refs;
+}
+
 // --- ContinuousQuery build ---------------------------------------------------
 
 namespace {
@@ -272,12 +282,18 @@ Status ContinuousQuery::OnWindowClose(const WindowBatch& batch) {
   } else {
     RETURN_IF_ERROR(EvaluateGeneric(batch, &out));
   }
-  eval_micros_total_ +=
+  int64_t eval_micros =
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count();
+  eval_micros_total_ += eval_micros;
+  if (windows_metric_ != nullptr) windows_metric_->Add();
+  if (eval_metric_ != nullptr) eval_metric_->Record(eval_micros);
   if (batch.close_micros > emit_watermark_) {
     rows_emitted_ += static_cast<int64_t>(out.size());
+    if (rows_metric_ != nullptr) {
+      rows_metric_->Add(static_cast<int64_t>(out.size()));
+    }
     RETURN_IF_ERROR(Deliver(batch.close_micros, out));
   }
   return Status::OK();

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "exec/planner.h"
 #include "storage/transaction.h"
+#include "stream/metrics.h"
 #include "stream/shared_aggregation.h"
 #include "stream/window.h"
 #include "stream/window_operator.h"
@@ -47,6 +48,14 @@ class SliceAggregatorRegistry {
       const std::string& stream_name);
 
   size_t pipeline_count() const { return aggregators_.size(); }
+
+  /// One live pipeline, for observability enumeration.
+  struct PipelineRef {
+    std::string key;     // versioned signature ("sig#N")
+    std::string stream;  // lowercased source stream
+    const SliceAggregator* aggregator = nullptr;
+  };
+  std::vector<PipelineRef> Pipelines() const;
 
  private:
   struct Entry {
@@ -110,6 +119,16 @@ class ContinuousQuery {
   int64_t eval_micros_total() const { return eval_micros_total_; }
   int64_t rows_emitted() const { return rows_emitted_; }
 
+  /// Optional observability hookup: mirrors window closes, rows emitted,
+  /// and per-close eval latency into registry-owned metrics. Any pointer
+  /// may be null.
+  void BindMetrics(Counter* windows_closed, Counter* rows_emitted,
+                   Histogram* eval_micros) {
+    windows_metric_ = windows_closed;
+    rows_metric_ = rows_emitted;
+    eval_metric_ = eval_micros;
+  }
+
   /// Base tables this CQ's plan references (lowercased; empty for the
   /// shared strategy, whose pipeline reads no tables). The engine refuses
   /// to drop these while the CQ runs.
@@ -134,6 +153,9 @@ class ContinuousQuery {
   int64_t windows_evaluated_ = 0;
   int64_t eval_micros_total_ = 0;
   int64_t rows_emitted_ = 0;
+  Counter* windows_metric_ = nullptr;
+  Counter* rows_metric_ = nullptr;
+  Histogram* eval_metric_ = nullptr;
 
   // Generic path.
   const storage::TransactionManager* txns_ = nullptr;

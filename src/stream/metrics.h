@@ -1,0 +1,132 @@
+#ifndef STREAMREL_STREAM_METRICS_H_
+#define STREAMREL_STREAM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace streamrel::stream {
+
+/// Monotonically increasing event count. Hot paths hold a Counter* obtained
+/// once from the registry; Add() is a single integer add.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Point-in-time level (watermarks, buffered rows, live slices). Set() is a
+/// single store; structural gauges are refreshed lazily before a snapshot.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_ = value; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Bounded histogram over fixed bucket upper bounds (no per-sample
+/// allocation, O(buckets) memory forever). Percentiles are reported as the
+/// upper bound of the bucket where the cumulative count crosses the rank —
+/// exact enough for latency dashboards, cheap enough for the hot path.
+class Histogram {
+ public:
+  /// `bounds` are ascending bucket upper bounds; an implicit overflow
+  /// bucket catches everything above the last bound.
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  /// Default bounds for microsecond latencies: 1µs .. 1s, roughly
+  /// logarithmic (1-2-5 per decade), 19 buckets + overflow.
+  static std::vector<int64_t> LatencyMicrosBounds();
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Upper bound of the bucket containing the q-quantile (0 < q <= 1);
+  /// the overflow bucket reports the observed max. 0 when empty.
+  int64_t Percentile(double q) const;
+
+ private:
+  const std::vector<int64_t> bounds_;
+  std::vector<int64_t> buckets_;  // bounds_.size() + 1 (overflow)
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// One row of a metrics snapshot, addressed the way SHOW STATS exposes it:
+/// (scope, object, metric) -> value. Histograms expand into several
+/// samples (metric_count, metric_total, metric_min/max/p50/p95/p99).
+struct MetricSample {
+  std::string scope;   // "engine" | "stream" | "cq" | "channel" | "aggregator"
+  std::string name;    // object name; "" for engine-wide metrics
+  std::string metric;  // e.g. "rows_ingested", "eval_micros_p95"
+  int64_t value = 0;
+  /// True for values that are timestamps and may be unset (INT64_MIN),
+  /// e.g. watermarks; SHOW STATS renders unset as NULL.
+  bool is_timestamp = false;
+};
+
+/// The engine's metric store. Components register (scope, object, metric)
+/// cells once and keep the returned pointer; pointers stay valid until the
+/// object's metrics are removed (DROP CQ / channel stop). Snapshot()
+/// flattens everything into deterministic (scope, name, metric) order.
+///
+/// Single-threaded like the runtime that owns it. `enabled` gates the
+/// *expensive* instrumentation (clock reads for histograms) — counters are
+/// single adds and always cheap; benchmarks flip it off to measure the
+/// overhead of the observability layer on the ingest hot path.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& scope, const std::string& name,
+                      const std::string& metric);
+  Gauge* GetGauge(const std::string& scope, const std::string& name,
+                  const std::string& metric);
+  Histogram* GetHistogram(const std::string& scope, const std::string& name,
+                          const std::string& metric);
+  Histogram* GetHistogram(const std::string& scope, const std::string& name,
+                          const std::string& metric,
+                          std::vector<int64_t> bounds);
+
+  /// Marks a gauge as carrying a timestamp (unset = INT64_MIN -> NULL).
+  Gauge* GetWatermarkGauge(const std::string& scope, const std::string& name,
+                           const std::string& metric);
+
+  /// Drops every metric registered under (scope, name). Pointers handed
+  /// out for them dangle afterwards — callers drop the owning object in
+  /// the same breath (DROP CQ, channel stop).
+  void RemoveObject(const std::string& scope, const std::string& name);
+
+  std::vector<MetricSample> Snapshot() const;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+ private:
+  struct Cell {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    bool is_timestamp = false;
+  };
+  using Key = std::tuple<std::string, std::string, std::string>;
+
+  std::map<Key, Cell> cells_;
+  bool enabled_ = true;
+};
+
+}  // namespace streamrel::stream
+
+#endif  // STREAMREL_STREAM_METRICS_H_

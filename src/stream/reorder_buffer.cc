@@ -4,12 +4,17 @@ namespace streamrel::stream {
 
 Status ReorderBuffer::Push(int64_t ts, Row row) {
   if (watermark_ != INT64_MIN && ts < watermark_ - slack_) {
+    ++rejected_;
+    if (rejected_metric_ != nullptr) rejected_metric_->Add();
     return Status::InvalidArgument(
-        "row at " + std::to_string(ts) + " is later than the slack bound (" +
+        "row at " + std::to_string(ts) + " is earlier than the slack bound (" +
         std::to_string(watermark_ - slack_) + ")");
   }
   pending_[ts].push_back(std::move(row));
   ++buffered_;
+  if (buffered_metric_ != nullptr) {
+    buffered_metric_->Set(static_cast<int64_t>(buffered_));
+  }
   if (ts > watermark_) watermark_ = ts;
   // Everything at or before watermark - slack can no longer be displaced.
   return ReleaseUpTo(watermark_ - slack_);
@@ -24,9 +29,19 @@ Status ReorderBuffer::ReleaseUpTo(int64_t bound) {
     pending_.erase(pending_.begin());
   }
   if (batch.empty()) return Status::OK();
+  // The rows leave the buffer either way, but only count as released once
+  // the sink has actually accepted them — a failing sink must not leave
+  // counters claiming delivery.
   buffered_ -= batch.size();
+  if (buffered_metric_ != nullptr) {
+    buffered_metric_->Set(static_cast<int64_t>(buffered_));
+  }
+  RETURN_IF_ERROR(sink_(batch));
   released_ += static_cast<int64_t>(batch.size());
-  return sink_(batch);
+  if (released_metric_ != nullptr) {
+    released_metric_->Add(static_cast<int64_t>(batch.size()));
+  }
+  return Status::OK();
 }
 
 Status ReorderBuffer::Flush() { return ReleaseUpTo(INT64_MAX); }

@@ -8,6 +8,7 @@
 
 #include "common/schema.h"
 #include "common/status.h"
+#include "stream/metrics.h"
 
 namespace streamrel::stream {
 
@@ -18,7 +19,7 @@ namespace streamrel::stream {
 /// collectors, network skew) are only nearly ordered; the standard remedy
 /// is a slack buffer: hold each row until the watermark has advanced
 /// `slack` past its timestamp, releasing rows in timestamp order. Rows
-/// later than the slack bound are rejected (the caller may count/drop
+/// older than the slack bound are rejected (the caller may count/drop
 /// them).
 ///
 /// Usage: push rows as they arrive; releases come out via the sink
@@ -45,7 +46,21 @@ class ReorderBuffer {
   int64_t watermark() const { return watermark_; }
 
   size_t buffered_rows() const { return buffered_; }
+  /// Rows successfully delivered to the sink. Rows a failing sink did not
+  /// accept are neither buffered nor released (pushed - released -
+  /// buffered - rejected = lost to sink errors).
   int64_t rows_released() const { return released_; }
+  /// Rows rejected at Push for being older than the slack bound.
+  int64_t rows_rejected() const { return rejected_; }
+
+  /// Optional observability hookup: mirrors released/rejected counts and
+  /// the buffered-row level into registry-owned metrics. Any pointer may
+  /// be null.
+  void BindMetrics(Counter* released, Counter* rejected, Gauge* buffered) {
+    released_metric_ = released;
+    rejected_metric_ = rejected;
+    buffered_metric_ = buffered;
+  }
 
  private:
   Status ReleaseUpTo(int64_t bound);
@@ -56,6 +71,10 @@ class ReorderBuffer {
   int64_t watermark_ = INT64_MIN;
   size_t buffered_ = 0;
   int64_t released_ = 0;
+  int64_t rejected_ = 0;
+  Counter* released_metric_ = nullptr;
+  Counter* rejected_metric_ = nullptr;
+  Gauge* buffered_metric_ = nullptr;
 };
 
 }  // namespace streamrel::stream

@@ -7,7 +7,10 @@ namespace streamrel::stream {
 StreamRuntime::StreamRuntime(catalog::Catalog* catalog,
                              storage::TransactionManager* txns,
                              storage::WriteAheadLog* wal)
-    : catalog_(catalog), txns_(txns), wal_(wal) {}
+    : catalog_(catalog), txns_(txns), wal_(wal) {
+  engine_rows_metric_ =
+      metrics_.GetCounter("engine", "runtime", "rows_ingested");
+}
 
 StreamRuntime::StreamState* StreamRuntime::GetState(const std::string& name) {
   auto it = streams_.find(ToLower(name));
@@ -28,6 +31,14 @@ Status StreamRuntime::RegisterStream(const std::string& name) {
   if (streams_.count(key)) return Status::OK();
   StreamState state;
   state.info = info;
+  state.rows_ingested_metric = metrics_.GetCounter(
+      "stream", key, "rows_ingested");
+  state.batches_published_metric = metrics_.GetCounter(
+      "stream", key, "batches_published");
+  state.rows_published_metric = metrics_.GetCounter(
+      "stream", key, "rows_published");
+  state.watermark_metric = metrics_.GetWatermarkGauge(
+      "stream", key, "watermark");
   streams_.emplace(std::move(key), std::move(state));
   return Status::OK();
 }
@@ -63,6 +74,10 @@ Result<ContinuousQuery*> StreamRuntime::CreateCq(const std::string& name,
                                           &registry_, allow_shared));
   ContinuousQuery* ptr = cq.get();
   RETURN_IF_ERROR(AttachCqSubscription(ptr));
+  ptr->BindMetrics(metrics_.GetCounter("cq", key, "windows_closed"),
+                   metrics_.GetCounter("cq", key, "rows_emitted"),
+                   metrics_.GetHistogram("cq", key, "eval_micros"));
+  metrics_.GetGauge("cq", key, "is_shared")->Set(ptr->is_shared() ? 1 : 0);
   cqs_.emplace(std::move(key), std::move(cq));
   return ptr;
 }
@@ -84,6 +99,7 @@ Status StreamRuntime::DropCq(const std::string& name) {
     }
   }
   cqs_.erase(it);
+  metrics_.RemoveObject("cq", key);
   return Status::OK();
 }
 
@@ -130,6 +146,10 @@ Status StreamRuntime::StartChannel(const std::string& name) {
     return Status::AlreadyExists("channel '" + name + "' already running");
   }
   auto channel = std::make_unique<Channel>(*info, table, txns_, wal_);
+  channel->BindMetrics(
+      metrics_.GetCounter("channel", key, "batches_persisted"),
+      metrics_.GetCounter("channel", key, "rows_persisted"),
+      metrics_.GetWatermarkGauge("channel", key, "commit_watermark"));
   GetState(info->from_stream)->channels.push_back(channel.get());
   channels_.emplace(std::move(key), std::move(channel));
   return Status::OK();
@@ -157,6 +177,7 @@ Status StreamRuntime::StopChannel(const std::string& name) {
     }
   }
   channels_.erase(it);
+  metrics_.RemoveObject("channel", ToLower(name));
   return Status::OK();
 }
 
@@ -197,6 +218,7 @@ Status StreamRuntime::UnregisterStream(const std::string& name) {
                                    in_use);
   }
   streams_.erase(ToLower(name));
+  metrics_.RemoveObject("stream", ToLower(name));
   return Status::OK();
 }
 
@@ -290,6 +312,12 @@ Status StreamRuntime::Ingest(const std::string& stream,
     ++rows_ingested_;
     admitted.push_back(std::move(stamped));
   }
+  if (metrics_.enabled() && !admitted.empty()) {
+    const int64_t n = static_cast<int64_t>(admitted.size());
+    state->rows_ingested_metric->Add(n);
+    engine_rows_metric_->Add(n);
+    state->watermark_metric->Set(state->watermark);
+  }
 
   // Evict slices no live window can reference.
   for (SliceAggregator* agg : registry_.ForStream(info->name)) {
@@ -322,6 +350,7 @@ Status StreamRuntime::AdvanceTime(const std::string& stream,
     RETURN_IF_ERROR(ProcessClosed(&sub, &closed));
   }
   state->watermark = watermark;
+  if (metrics_.enabled()) state->watermark_metric->Set(watermark);
   for (SliceAggregator* agg : registry_.ForStream(state->info->name)) {
     agg->EvictBefore(state->watermark - agg->max_visible());
   }
@@ -340,6 +369,11 @@ Status StreamRuntime::PublishBatch(const std::string& stream, int64_t close,
     RETURN_IF_ERROR(ProcessClosed(&sub, &closed));
   }
   state->watermark = close;
+  if (metrics_.enabled()) {
+    state->batches_published_metric->Add();
+    state->rows_published_metric->Add(static_cast<int64_t>(rows.size()));
+    state->watermark_metric->Set(close);
+  }
   for (Channel* channel : state->channels) {
     RETURN_IF_ERROR(channel->OnBatch(close, rows));
   }
@@ -399,6 +433,52 @@ std::vector<std::string> StreamRuntime::CqNames() const {
   names.reserve(cqs_.size());
   for (const auto& [key, cq] : cqs_) names.push_back(cq->name());
   return names;
+}
+
+void StreamRuntime::RefreshMetricsGauges() {
+  int64_t shared = 0;
+  for (const auto& [key, cq] : cqs_) {
+    if (cq->is_shared()) ++shared;
+    metrics_.GetWatermarkGauge("cq", key, "emit_watermark")
+        ->Set(cq->emit_watermark());
+  }
+  metrics_.GetGauge("engine", "runtime", "streams")
+      ->Set(static_cast<int64_t>(streams_.size()));
+  metrics_.GetGauge("engine", "runtime", "cqs")
+      ->Set(static_cast<int64_t>(cqs_.size()));
+  metrics_.GetGauge("engine", "runtime", "cqs_shared")->Set(shared);
+  metrics_.GetGauge("engine", "runtime", "cqs_generic")
+      ->Set(static_cast<int64_t>(cqs_.size()) - shared);
+  metrics_.GetGauge("engine", "runtime", "channels")
+      ->Set(static_cast<int64_t>(channels_.size()));
+  metrics_.GetGauge("engine", "runtime", "shared_pipelines")
+      ->Set(static_cast<int64_t>(registry_.pipeline_count()));
+
+  for (const auto& [key, state] : streams_) {
+    metrics_.GetGauge("stream", key, "cq_subscriptions")
+        ->Set(static_cast<int64_t>(state.subs.size()));
+    metrics_.GetGauge("stream", key, "channels")
+        ->Set(static_cast<int64_t>(state.channels.size()));
+    metrics_.GetGauge("stream", key, "client_subscriptions")
+        ->Set(static_cast<int64_t>(state.client_subs.size()));
+    state.watermark_metric->Set(state.watermark);
+  }
+
+  // Shared pipelines are keyed by their versioned signature; the registry
+  // never drops one while the runtime lives, so refreshing in place is
+  // enough (no RemoveObject pass needed).
+  for (const auto& ref : registry_.Pipelines()) {
+    metrics_.GetGauge("aggregator", ref.key, "member_cqs")
+        ->Set(ref.aggregator->member_cqs());
+    metrics_.GetGauge("aggregator", ref.key, "rows_absorbed")
+        ->Set(ref.aggregator->rows_absorbed());
+    metrics_.GetGauge("aggregator", ref.key, "live_slices")
+        ->Set(static_cast<int64_t>(ref.aggregator->live_slices()));
+    metrics_.GetGauge("aggregator", ref.key, "union_calls")
+        ->Set(static_cast<int64_t>(ref.aggregator->union_call_count()));
+    metrics_.GetGauge("aggregator", ref.key, "slice_width_micros")
+        ->Set(ref.aggregator->slice_width());
+  }
 }
 
 }  // namespace streamrel::stream

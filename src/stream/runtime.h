@@ -12,6 +12,7 @@
 #include "storage/wal.h"
 #include "stream/channel.h"
 #include "stream/continuous_query.h"
+#include "stream/metrics.h"
 #include "stream/window_operator.h"
 
 namespace streamrel::stream {
@@ -103,6 +104,17 @@ class StreamRuntime {
 
   catalog::Catalog* catalog() { return catalog_; }
 
+  // --- observability ---------------------------------------------------------
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  const MetricsRegistry* metrics() const { return &metrics_; }
+
+  /// Pulls structural state (live slices, pipeline membership, subscriber
+  /// counts, watermarks, object counts) into registry gauges. Hot-path
+  /// counters are pushed inline; call this before taking a Snapshot so the
+  /// pull-style gauges are current too.
+  void RefreshMetricsGauges();
+
  private:
   struct Subscription {
     ContinuousQuery* cq = nullptr;  // owned by cqs_
@@ -118,6 +130,12 @@ class StreamRuntime {
     std::vector<Subscription> subs;
     std::vector<Channel*> channels;        // owned by channels_
     std::vector<CqCallback> client_subs;
+    // Cached metric cells (owned by metrics_; stable until the stream is
+    // unregistered). Bound in RegisterStream.
+    Counter* rows_ingested_metric = nullptr;
+    Counter* batches_published_metric = nullptr;
+    Counter* rows_published_metric = nullptr;
+    Gauge* watermark_metric = nullptr;
   };
 
   StreamState* GetState(const std::string& name);
@@ -140,6 +158,8 @@ class StreamRuntime {
   std::map<std::string, std::unique_ptr<Channel>> channels_;
   SliceAggregatorRegistry registry_;
   int64_t rows_ingested_ = 0;
+  MetricsRegistry metrics_;
+  Counter* engine_rows_metric_ = nullptr;  // engine-wide ingest total
 };
 
 }  // namespace streamrel::stream

@@ -34,6 +34,7 @@ Result<std::vector<size_t>> SliceAggregator::RegisterCalls(
     }
     mapping.push_back(slot);
   }
+  ++member_cqs_;
   return mapping;
 }
 

@@ -71,6 +71,9 @@ class SliceAggregator {
   size_t union_call_count() const { return calls_.size(); }
   size_t live_slices() const { return slices_.size(); }
   int64_t rows_absorbed() const { return rows_absorbed_; }
+  /// CQs that have attached to this pipeline (RegisterCalls count). One
+  /// means dedicated; more means the per-row work is genuinely shared.
+  int64_t member_cqs() const { return member_cqs_; }
 
   /// Records that a member window needs `visible` micros of history;
   /// eviction keeps max over members.
@@ -98,6 +101,7 @@ class SliceAggregator {
   std::map<int64_t, Slice> slices_;         // keyed by slice start time
   int64_t rows_absorbed_ = 0;
   int64_t max_visible_ = 0;
+  int64_t member_cqs_ = 0;
 };
 
 }  // namespace streamrel::stream

@@ -108,6 +108,30 @@ TEST_F(ChannelTest, RawStreamChannelArchivesRows) {
   EXPECT_EQ(result.rows[0][0].AsString(), "/a");
 }
 
+TEST_F(ChannelTest, RawChannelWatermarkRestoredOnFailedBatch) {
+  MustExecute(&db_, "CREATE TABLE raw_log (url varchar, ts timestamp)");
+  MustExecute(&db_, "CREATE CHANNEL raw_ch FROM s INTO raw_log APPEND");
+  Channel* ch = db_.runtime()->GetChannel("raw_ch");
+  ASSERT_NE(ch, nullptr);
+  Send("/a", 10 * kSec);
+  ASSERT_EQ(ch->watermark(), 10 * kSec);
+
+  // The next row group fails mid-persist (WAL rejects the write).
+  db_.wal()->InjectAppendFailures(1);
+  EXPECT_FALSE(
+      db_.Ingest("s", {Row{Value::String("/b"), Value::Timestamp(10 * kSec)}})
+          .ok());
+  // The failure must not leave the watermark regressed below the last
+  // durable group: a redelivered batch at the old close would then pass
+  // the dedup check and double-apply.
+  EXPECT_EQ(ch->watermark(), 10 * kSec);
+  ASSERT_TRUE(ch->OnBatch(10 * kSec, {Row{Value::String("/dup"),
+                                          Value::Timestamp(10 * kSec)}})
+                  .ok());
+  auto result = MustExecute(&db_, "SELECT count(*) FROM raw_log");
+  EXPECT_EQ(result.rows[0][0].AsInt64(), 1);
+}
+
 TEST_F(ChannelTest, ActiveTableIsIndexable) {
   MustExecute(&db_, "CREATE CHANNEL ch FROM counts INTO archive APPEND");
   MustExecute(&db_, "CREATE INDEX archive_url ON archive (url)");

@@ -122,5 +122,33 @@ TEST(ReorderBufferTest, SinkErrorPropagates) {
   EXPECT_FALSE(s.ok());
 }
 
+TEST(ReorderBufferTest, TooLateMessageSaysEarlier) {
+  OrderedSink sink;
+  ReorderBuffer buffer(2 * kSec, sink.Fn());
+  ASSERT_TRUE(buffer.Push(10 * kSec, R(10)).ok());
+  Status late = buffer.Push(7 * kSec, R(7));
+  ASSERT_FALSE(late.ok());
+  // The rejected row is OLDER than the slack bound — the message must say
+  // so, not claim the row is "later than" the bound.
+  EXPECT_NE(late.message().find("earlier than the slack bound"),
+            std::string::npos)
+      << late.message();
+  EXPECT_EQ(late.message().find("later than"), std::string::npos)
+      << late.message();
+  EXPECT_EQ(buffer.rows_rejected(), 1);
+}
+
+TEST(ReorderBufferTest, FailedSinkDoesNotCountAsReleased) {
+  ReorderBuffer buffer(0, [](const std::vector<Row>&) {
+    return Status::Internal("sink down");
+  });
+  EXPECT_FALSE(buffer.Push(1, R(1)).ok());
+  // The sink never accepted the row: it must not be counted as released
+  // (and it has left the buffer, so it is not buffered either).
+  EXPECT_EQ(buffer.rows_released(), 0);
+  EXPECT_EQ(buffer.buffered_rows(), 0u);
+  EXPECT_EQ(buffer.rows_rejected(), 0);
+}
+
 }  // namespace
 }  // namespace streamrel::stream
