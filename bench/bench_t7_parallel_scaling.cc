@@ -1,0 +1,76 @@
+// Experiment T7: partition-parallel ingest scaling. One grouped shared-CQ
+// workload (several dashboard CQs folded into a single slice pipeline) is
+// driven at SET PARALLELISM 1/2/4/8; the per-row pipeline work is
+// hash-partitioned across that many worker shards while the ingest thread
+// coordinates and merges partials at window closes. The shape to verify on
+// a multi-core host: rows_per_sec grows with the worker count until cores
+// run out (the acceptance target is >=2.5x at parallelism 4). On a
+// single-core host the sweep still runs — it then measures the coordination
+// overhead floor, not the scaling headroom.
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace streamrel::bench {
+namespace {
+
+/// Several CQs sharing one (stream, window, group-by) signature, so ingest
+/// cost is dominated by the one shared pipeline the shards split.
+void RegisterDashboard(engine::Database* db, int n) {
+  static const char* kAggSets[] = {
+      "count(*)",
+      "count(*), count(distinct client_ip)",
+      "count(*), min(atime)",
+      "count(*), max(atime)",
+  };
+  for (int i = 0; i < n; ++i) {
+    std::string sql = std::string("SELECT url, ") + kAggSets[i % 4] +
+                      " FROM url_stream "
+                      "<VISIBLE '5 minutes' ADVANCE '1 minute'> GROUP BY url";
+    Check(db->CreateContinuousQuery("metric_" + std::to_string(i), sql)
+              .status(),
+          "create metric CQ");
+  }
+}
+
+void BM_ParallelIngest(benchmark::State& state) {
+  const int parallelism = static_cast<int>(state.range(0));
+  const int64_t rows = 60000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::Database db;
+    Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+    RegisterDashboard(&db, 8);
+    Check(db.Execute("SET PARALLELISM " + std::to_string(parallelism))
+              .status(),
+          "set parallelism");
+    UrlClickWorkload workload(/*url_cardinality=*/200, /*rows_per_sec=*/500);
+    state.ResumeTiming();
+
+    int64_t remaining = rows;
+    while (remaining > 0) {
+      size_t n = static_cast<size_t>(std::min<int64_t>(remaining, 4096));
+      Check(db.Ingest("url_stream", workload.NextBatch(n)), "ingest");
+      remaining -= static_cast<int64_t>(n);
+    }
+    Check(db.AdvanceTime("url_stream", workload.now() + 5 * kMin),
+          "heartbeat");
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["parallelism"] = parallelism;
+}
+BENCHMARK(BM_ParallelIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace streamrel::bench
+
+BENCHMARK_MAIN();

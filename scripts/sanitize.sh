@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under a sanitizer build.
+#
+#   scripts/sanitize.sh [thread|address] [ctest-args...]
+#
+# Builds into build-tsan/ or build-asan/ (separate from the normal build/)
+# so sanitized and plain object files never mix, then runs ctest. Any extra
+# arguments are forwarded to ctest (e.g. -R parallel_runtime_test).
+set -euo pipefail
+
+MODE="${1:-thread}"
+shift || true
+case "$MODE" in
+  thread)  BUILD_DIR="build-tsan" ;;
+  address) BUILD_DIR="build-asan" ;;
+  *)
+    echo "usage: $0 [thread|address] [ctest-args...]" >&2
+    exit 2
+    ;;
+esac
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTREAMREL_SANITIZE="$MODE"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# second_deadlock_stack: report both lock orders in a TSAN deadlock;
+# halt_on_error off so one report does not mask later ones in a run.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cd "$BUILD_DIR"
+ctest --output-on-failure "$@"

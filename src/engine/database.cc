@@ -23,6 +23,7 @@ Database::Database(std::shared_ptr<storage::SimulatedDisk> disk,
       runtime_(&catalog_, &txns_, wal_.get()) {}
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts, sql::ParseSql(sql));
   if (stmts.empty()) {
     return Status::InvalidArgument("no statement to execute");
@@ -53,6 +54,8 @@ Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
           static_cast<const sql::TransactionStmt&>(stmt));
     case sql::StatementKind::kShowStats:
       return ExecuteShowStats(static_cast<const sql::ShowStatsStmt&>(stmt));
+    case sql::StatementKind::kSet:
+      return ExecuteSet(static_cast<const sql::SetStmt&>(stmt));
     case sql::StatementKind::kCreateTable:
       return ExecuteCreateTable(
           static_cast<const sql::CreateTableStmt&>(stmt));
@@ -86,6 +89,7 @@ bool IsSystemName(const std::string& name) {
 }  // namespace
 
 Status Database::RefreshSystemTables() {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   // (Re)create each sys table and fill it from live state. The writes
   // bypass the WAL: system tables are derived data, rebuilt on demand.
   auto ensure = [&](const std::string& name,
@@ -491,6 +495,7 @@ Result<QueryResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt) {
 }
 
 EngineStats Database::StatsSnapshot() {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   stream::MetricsRegistry* metrics = runtime_.metrics();
   runtime_.RefreshMetricsGauges();
   EngineStats stats;
@@ -569,6 +574,23 @@ Result<QueryResult> Database::ExecuteShowStats(
                               std::move(value)});
   }
   result.message = "SHOW STATS " + std::to_string(result.rows.size());
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
+  if (stmt.option != "parallelism") {
+    return Status::InvalidArgument("unknown SET option '" + stmt.option +
+                                   "'");
+  }
+  if (stmt.value < 1 ||
+      stmt.value > stream::StreamRuntime::kMaxParallelism) {
+    return Status::InvalidArgument(
+        "PARALLELISM must be between 1 and " +
+        std::to_string(stream::StreamRuntime::kMaxParallelism));
+  }
+  RETURN_IF_ERROR(runtime_.SetParallelism(static_cast<int>(stmt.value)));
+  QueryResult result;
+  result.message = "SET PARALLELISM " + std::to_string(stmt.value);
   return result;
 }
 
@@ -872,6 +894,7 @@ Result<QueryResult> Database::ExecuteDrop(const sql::DropStmt& stmt) {
 Result<stream::ContinuousQuery*> Database::CreateContinuousQuery(
     const std::string& name, const std::string& select_sql,
     bool allow_shared) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   ASSIGN_OR_RETURN(sql::StatementPtr stmt,
                    sql::ParseSingleStatement(select_sql));
   if (stmt->kind() != sql::StatementKind::kSelect) {
@@ -883,11 +906,13 @@ Result<stream::ContinuousQuery*> Database::CreateContinuousQuery(
 }
 
 Status Database::DropContinuousQuery(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   return runtime_.DropCq(name);
 }
 
 Status Database::Ingest(const std::string& stream,
                         const std::vector<Row>& rows, int64_t system_time) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   RETURN_IF_ERROR(runtime_.Ingest(stream, rows, system_time));
   int64_t wm = runtime_.watermark(stream);
   if (wm > now_micros_) now_micros_ = wm;
@@ -895,12 +920,14 @@ Status Database::Ingest(const std::string& stream,
 }
 
 Status Database::AdvanceTime(const std::string& stream, int64_t watermark) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   RETURN_IF_ERROR(runtime_.AdvanceTime(stream, watermark));
   if (watermark > now_micros_) now_micros_ = watermark;
   return Status::OK();
 }
 
 Result<stream::WalReplayResult> Database::RecoverFromWal() {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   return stream::ReplayWal(&catalog_, &txns_, *wal_);
 }
 

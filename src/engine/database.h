@@ -2,6 +2,7 @@
 #define STREAMREL_ENGINE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,6 +57,12 @@ struct EngineStats {
 /// CreateContinuousQuery() starts a CQ from a stream-referencing SELECT and
 /// returns a handle for subscribing to its per-window results. Ingest()
 /// pushes ordered rows into a raw stream, driving the whole dataflow.
+///
+/// Thread safety: the public entry points (Execute, Ingest, AdvanceTime,
+/// CreateContinuousQuery, DropContinuousQuery, StatsSnapshot, ...) serialize
+/// on one engine mutex, so concurrent callers are safe — statements execute
+/// one at a time. The mutex is recursive because CQ delivery callbacks fire
+/// inside Ingest and may legitimately call back into the database.
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions());
@@ -130,6 +137,7 @@ class Database {
   Result<QueryResult> ExecuteExplain(const sql::ExplainStmt& stmt);
   Result<QueryResult> ExecuteTransaction(const sql::TransactionStmt& stmt);
   Result<QueryResult> ExecuteShowStats(const sql::ShowStatsStmt& stmt);
+  Result<QueryResult> ExecuteSet(const sql::SetStmt& stmt);
 
   /// The write transaction for a DML statement: the open explicit
   /// transaction if any (already WAL-logged), else a fresh autocommit one
@@ -153,6 +161,9 @@ class Database {
   Result<Schema> SchemaFromColumnDefs(
       const std::vector<sql::ColumnDef>& defs) const;
 
+  /// Serializes all public entry points (recursive: delivery callbacks
+  /// re-enter the engine from inside Ingest on the same thread).
+  mutable std::recursive_mutex engine_mu_;
   DatabaseOptions options_;
   std::shared_ptr<storage::SimulatedDisk> disk_;
   std::shared_ptr<storage::WriteAheadLog> wal_;

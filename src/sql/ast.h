@@ -182,6 +182,7 @@ enum class StatementKind {
   kExplain,
   kTransaction,  // BEGIN / COMMIT / ROLLBACK
   kShowStats,    // SHOW STATS [FOR CQ|STREAM|CHANNEL <name>]
+  kSet,          // SET PARALLELISM <n>
 };
 
 struct Statement {
@@ -265,6 +266,15 @@ struct ShowStatsStmt : Statement {
   std::string name;  // empty for kAll
 
   StatementKind kind() const override { return StatementKind::kShowStats; }
+};
+
+/// SET <option> <value>: engine-level runtime options. Currently only
+/// SET PARALLELISM <n> (the worker-shard count for stream ingest).
+struct SetStmt : Statement {
+  std::string option;  // lowercased, e.g. "parallelism"
+  int64_t value = 0;
+
+  StatementKind kind() const override { return StatementKind::kSet; }
 };
 
 enum class TransactionOp { kBegin, kCommit, kRollback };

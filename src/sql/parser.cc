@@ -123,6 +123,7 @@ class Parser {
       return StatementPtr(std::move(stmt));
     }
     if (MatchKeyword("show")) return ParseShowStats();
+    if (MatchKeyword("set")) return ParseSet();
     if (MatchKeyword("begin") || MatchKeyword("start")) {
       MatchKeyword("transaction");
       MatchKeyword("work");
@@ -146,7 +147,23 @@ class Parser {
     }
     return Result<StatementPtr>(
         Error("expected SELECT, INSERT, UPDATE, DELETE, CREATE, DROP, "
-              "VACUUM, EXPLAIN, or SHOW"));
+              "VACUUM, EXPLAIN, SHOW, or SET"));
+  }
+
+  Result<StatementPtr> ParseSet() {
+    auto stmt = std::make_unique<SetStmt>();
+    std::string option;
+    ASSIGN_OR_RETURN(option, ExpectIdentifier("option name"));
+    stmt->option = ToLower(option);
+    if (stmt->option != "parallelism") {
+      return Result<StatementPtr>(
+          Error("unknown SET option '" + option + "'"));
+    }
+    if (Peek().type != TokenType::kInteger) {
+      return Result<StatementPtr>(Error("expected integer value"));
+    }
+    stmt->value = Advance().int_value;
+    return StatementPtr(std::move(stmt));
   }
 
   Result<StatementPtr> ParseShowStats() {

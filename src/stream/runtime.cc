@@ -1,8 +1,17 @@
 #include "stream/runtime.h"
 
 #include "common/string_util.h"
+#include "exec/operators.h"
 
 namespace streamrel::stream {
+
+namespace {
+/// Rows per shard chunk: large enough that queue traffic is rare, small
+/// enough that absorption overlaps the coordinator's stamping loop.
+constexpr size_t kShardChunkRows = 256;
+/// In-flight chunks per worker before Push blocks (backpressure bound).
+constexpr size_t kShardQueueCapacity = 16;
+}  // namespace
 
 StreamRuntime::StreamRuntime(catalog::Catalog* catalog,
                              storage::TransactionManager* txns,
@@ -74,6 +83,12 @@ Result<ContinuousQuery*> StreamRuntime::CreateCq(const std::string& name,
                                           &registry_, allow_shared));
   ContinuousQuery* ptr = cq.get();
   RETURN_IF_ERROR(AttachCqSubscription(ptr));
+  // A CQ created while parallel may have opened a fresh pipeline; give it
+  // the same shard fan-out as the rest of the engine.
+  if (ptr->is_shared() &&
+      ptr->shared_aggregator()->shard_count() != workers_.size()) {
+    RETURN_IF_ERROR(ptr->shared_aggregator()->SetShardCount(workers_.size()));
+  }
   ptr->BindMetrics(metrics_.GetCounter("cq", key, "windows_closed"),
                    metrics_.GetCounter("cq", key, "rows_emitted"),
                    metrics_.GetHistogram("cq", key, "eval_micros"));
@@ -252,6 +267,7 @@ Status StreamRuntime::Ingest(const std::string& stream,
         "cannot ingest into derived stream '" + stream +
         "'; it is computed by its defining query");
   }
+  if (!workers_.empty()) return IngestParallel(state, rows, system_time);
   const size_t arity = info->schema.num_columns();
   std::vector<WindowBatch> closed;
   // Rows as actually admitted (CQTIME SYSTEM stamps the timestamp column);
@@ -296,8 +312,9 @@ Status StreamRuntime::Ingest(const std::string& stream,
       stamped[info->cqtime_column] = Value::Timestamp(ts);
     }
 
+    const int64_t seq = state->ingest_seq++;
     for (SliceAggregator* agg : registry_.ForStream(info->name)) {
-      RETURN_IF_ERROR(agg->AddRow(ts, stamped));
+      RETURN_IF_ERROR(agg->AddRow(ts, stamped, seq));
     }
     for (Subscription& sub : state->subs) {
       if (sub.feed_rows) {
@@ -332,6 +349,231 @@ Status StreamRuntime::Ingest(const std::string& stream,
     RETURN_IF_ERROR(cb(state->watermark, admitted));
   }
   return Status::OK();
+}
+
+Status StreamRuntime::IngestParallel(StreamState* state,
+                                     const std::vector<Row>& rows,
+                                     int64_t system_time) {
+  catalog::StreamInfo* info = state->info;
+  const size_t arity = info->schema.num_columns();
+  // Resolved on the coordinator and re-resolved after every window close:
+  // a delivery callback may re-enter the engine and create a CQ on this
+  // stream, growing (and reallocating) the registry's pipeline vector.
+  // Workers are always drained before callbacks run, so nothing holds the
+  // old pointer when that happens.
+  const std::vector<SliceAggregator*>* pipelines =
+      &registry_.ForStream(info->name);
+  // Partitioning key: the first grouped pipeline's GROUP BY expressions.
+  // Rows of one group always land on the same worker, so that pipeline's
+  // per-group slice states are built in exact arrival order (bit-identical
+  // to serial execution, even for floating-point states). Pipelines keyed
+  // differently may see a group's rows split across workers; their
+  // partials are still merged exactly at window close (AggState::Merge).
+  // With no grouped pipeline (scalar aggregates only) rows round-robin.
+  const std::vector<exec::BoundExprPtr>* routing = nullptr;
+  auto pick_routing = [&]() {
+    routing = nullptr;
+    for (SliceAggregator* p : *pipelines) {
+      if (!p->group_exprs().empty()) {
+        routing = &p->group_exprs();
+        break;
+      }
+    }
+  };
+  pick_routing();
+  const size_t nworkers = workers_.size();
+  std::vector<std::vector<ShardRow>> pending(nworkers);
+
+  auto flush = [&]() {
+    for (size_t w = 0; w < nworkers; ++w) {
+      if (pending[w].empty()) continue;
+      workers_[w]->Push(ShardChunk{pipelines, std::move(pending[w])});
+      pending[w].clear();
+    }
+  };
+  // Drains every worker and surfaces the first shard-side error. Run
+  // before evaluating window closes (merges must see complete partials)
+  // and before returning (callers may inspect state right after Ingest).
+  auto barrier = [&]() -> Status {
+    flush();
+    for (auto& w : workers_) w->WaitIdle();
+    for (auto& w : workers_) RETURN_IF_ERROR(w->TakeError());
+    return Status::OK();
+  };
+  // On a validation error mid-batch, rows before the bad one must still be
+  // absorbed (the serial path processes row by row), so drain first.
+  auto fail = [&](Status status) -> Status {
+    Status drained = barrier();
+    return status.ok() ? drained : status;
+  };
+
+  std::vector<WindowBatch> closed;
+  std::vector<Row> admitted;
+  admitted.reserve(rows.size());
+  for (const Row& row : rows) {
+    if (row.size() != arity) {
+      return fail(Status::InvalidArgument(
+          "row arity does not match stream '" + info->name + "'"));
+    }
+    int64_t ts;
+    if (info->cqtime_system) {
+      if (system_time == INT64_MIN) {
+        return fail(Status::InvalidArgument(
+            "stream '" + info->name +
+            "' has CQTIME SYSTEM; pass an ingest time"));
+      }
+      ts = system_time;
+    } else {
+      const Value& tv = row[info->cqtime_column];
+      if (tv.is_null()) {
+        return fail(Status::InvalidArgument("NULL CQTIME value"));
+      }
+      if (tv.type() == DataType::kTimestamp) {
+        ts = tv.AsTimestampMicros();
+      } else if (tv.type() == DataType::kInt64) {
+        ts = tv.AsInt64();
+      } else {
+        return fail(
+            Status::InvalidArgument("CQTIME column must be a timestamp"));
+      }
+    }
+    if (state->watermark != INT64_MIN && ts < state->watermark) {
+      return fail(Status::InvalidArgument(
+          "out-of-order row: ts " + std::to_string(ts) +
+          " is behind stream watermark " + std::to_string(state->watermark)));
+    }
+    Row stamped = row;
+    if (info->cqtime_system) {
+      stamped[info->cqtime_column] = Value::Timestamp(ts);
+    }
+
+    const int64_t seq = state->ingest_seq++;
+    if (!pipelines->empty()) {
+      size_t target = static_cast<size_t>(seq) % nworkers;
+      if (routing != nullptr) {
+        exec::EvalContext ctx;
+        std::vector<Value> keys;
+        keys.reserve(routing->size());
+        bool keyed = true;
+        for (const auto& g : *routing) {
+          Result<Value> v = g->Eval(stamped, ctx);
+          if (!v.ok()) {
+            // Routing is best-effort: if the key errors, any worker will
+            // reproduce the real evaluation error (or the row is filtered
+            // out and the error never existed serially either).
+            keyed = false;
+            break;
+          }
+          keys.push_back(v.TakeValue());
+        }
+        if (keyed) target = exec::HashValues(keys) % nworkers;
+      }
+      pending[target].push_back(ShardRow{ts, seq, stamped});
+      if (pending[target].size() >= kShardChunkRows) {
+        workers_[target]->Push(
+            ShardChunk{pipelines, std::move(pending[target])});
+        pending[target].clear();
+      }
+    }
+
+    for (Subscription& sub : state->subs) {
+      Status status;
+      if (sub.feed_rows) {
+        status = sub.window_op->AddRow(ts, stamped, &closed);
+      } else {
+        sub.window_op->StartAt(ts);
+        status = sub.window_op->AdvanceTime(ts, &closed);
+      }
+      if (!status.ok()) return fail(std::move(status));
+      if (!closed.empty()) {
+        // Merge-at-window-close: every row of this batch so far is in its
+        // shard before any close is evaluated. Later rows in the batch
+        // cannot contaminate the merge — their timestamps are at or past
+        // the close, outside every closing window's slices.
+        RETURN_IF_ERROR(barrier());
+        RETURN_IF_ERROR(ProcessClosed(&sub, &closed));
+        pipelines = &registry_.ForStream(info->name);
+        pick_routing();
+      }
+    }
+    state->watermark = ts;
+    ++rows_ingested_;
+    admitted.push_back(std::move(stamped));
+  }
+  RETURN_IF_ERROR(barrier());
+  if (metrics_.enabled() && !admitted.empty()) {
+    const int64_t n = static_cast<int64_t>(admitted.size());
+    state->rows_ingested_metric->Add(n);
+    engine_rows_metric_->Add(n);
+    state->watermark_metric->Set(state->watermark);
+  }
+  UpdateShardMetrics();
+
+  // Evict slices no live window can reference (workers are idle: eviction
+  // walks shard state from the coordinator).
+  for (SliceAggregator* agg : registry_.ForStream(info->name)) {
+    agg->EvictBefore(state->watermark - agg->max_visible());
+  }
+  for (Channel* channel : state->channels) {
+    RETURN_IF_ERROR(channel->OnRawRows(state->watermark, admitted));
+  }
+  for (const CqCallback& cb : state->client_subs) {
+    RETURN_IF_ERROR(cb(state->watermark, admitted));
+  }
+  return Status::OK();
+}
+
+Status StreamRuntime::SetParallelism(int n) {
+  if (n < 1 || n > kMaxParallelism) {
+    return Status::InvalidArgument(
+        "PARALLELISM must be between 1 and " +
+        std::to_string(kMaxParallelism));
+  }
+  if (n == parallelism_) return Status::OK();
+  // Workers are always idle between Ingest calls; re-shard every pipeline
+  // (folding any existing shard state back into the parents) before
+  // changing the worker fleet.
+  const size_t shard_count = n > 1 ? static_cast<size_t>(n) : 0;
+  for (SliceAggregator* agg : registry_.MutablePipelines()) {
+    RETURN_IF_ERROR(agg->SetShardCount(shard_count));
+  }
+  workers_.clear();
+  for (size_t i = 0; i < shard_cells_.size(); ++i) {
+    metrics_.RemoveObject("shard", "worker" + std::to_string(i));
+  }
+  shard_cells_.clear();
+  parallelism_ = n;
+  for (size_t i = 0; i < shard_count; ++i) {
+    workers_.emplace_back(
+        std::make_unique<ShardWorker>(i, kShardQueueCapacity));
+    const std::string name = "worker" + std::to_string(i);
+    ShardMetricCells cells;
+    cells.rows = metrics_.GetCounter("shard", name, "rows_absorbed");
+    cells.chunks = metrics_.GetCounter("shard", name, "chunks");
+    cells.backpressure_waits =
+        metrics_.GetCounter("shard", name, "backpressure_waits");
+    cells.queue_high_water =
+        metrics_.GetGauge("shard", name, "queue_high_water");
+    shard_cells_.push_back(cells);
+  }
+  metrics_.GetGauge("engine", "runtime", "parallelism")->Set(n);
+  return Status::OK();
+}
+
+void StreamRuntime::UpdateShardMetrics() {
+  if (!metrics_.enabled()) return;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    ShardMetricCells& cells = shard_cells_[i];
+    const ShardWorker& w = *workers_[i];
+    cells.rows->Add(w.rows_processed() - cells.last_rows);
+    cells.last_rows = w.rows_processed();
+    cells.chunks->Add(w.chunks_processed() - cells.last_chunks);
+    cells.last_chunks = w.chunks_processed();
+    cells.backpressure_waits->Add(w.backpressure_waits() -
+                                  cells.last_backpressure);
+    cells.last_backpressure = w.backpressure_waits();
+    cells.queue_high_water->Set(w.max_queue_depth());
+  }
 }
 
 Status StreamRuntime::AdvanceTime(const std::string& stream,
@@ -453,6 +695,8 @@ void StreamRuntime::RefreshMetricsGauges() {
       ->Set(static_cast<int64_t>(channels_.size()));
   metrics_.GetGauge("engine", "runtime", "shared_pipelines")
       ->Set(static_cast<int64_t>(registry_.pipeline_count()));
+  metrics_.GetGauge("engine", "runtime", "parallelism")->Set(parallelism_);
+  UpdateShardMetrics();
 
   for (const auto& [key, state] : streams_) {
     metrics_.GetGauge("stream", key, "cq_subscriptions")

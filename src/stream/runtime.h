@@ -13,6 +13,7 @@
 #include "stream/channel.h"
 #include "stream/continuous_query.h"
 #include "stream/metrics.h"
+#include "stream/shard_pool.h"
 #include "stream/window_operator.h"
 
 namespace streamrel::stream {
@@ -22,8 +23,15 @@ namespace streamrel::stream {
 /// window closes as the watermark advances, cascades derived-stream
 /// batches downstream, and drives channels into active tables.
 ///
-/// Single-threaded by design: one runtime instance is driven by one ingest
-/// loop (the paper's engine processes each stream's data in arrival order).
+/// Driven by one ingest loop (the paper's engine processes each stream's
+/// data in arrival order). With SET PARALLELISM n (n > 1) the expensive
+/// per-row work — updating the shared slice-aggregation pipelines — is
+/// hash-partitioned across n worker shards, each owning replica pipeline
+/// state; the ingest thread remains the coordinator, and at every window
+/// close it barriers the workers and merges their partial aggregates, so
+/// downstream consumers observe exactly the serial semantics. All public
+/// methods must still be called from a single thread at a time (Database
+/// serializes them).
 class StreamRuntime {
  public:
   StreamRuntime(catalog::Catalog* catalog,
@@ -86,6 +94,19 @@ class StreamRuntime {
 
   int64_t watermark(const std::string& stream) const;
 
+  // --- partition-parallel execution ------------------------------------------
+
+  /// Sets the worker-shard count for ingest (SET PARALLELISM n). 1 (the
+  /// default) runs fully single-threaded — the serial hot path is
+  /// untouched. For n > 1, every shared pipeline is split into n shard
+  /// replicas and n workers are started; existing shard state is folded
+  /// back first, so the switch is transparent to running CQs.
+  Status SetParallelism(int n);
+  int parallelism() const { return parallelism_; }
+
+  /// Upper bound for SET PARALLELISM (sanity cap, not a tuning target).
+  static constexpr int kMaxParallelism = 64;
+
   // --- recovery support ------------------------------------------------------
 
   /// Serializes a generic CQ's window-operator state (checkpoint strategy).
@@ -127,6 +148,9 @@ class StreamRuntime {
   struct StreamState {
     catalog::StreamInfo* info = nullptr;
     int64_t watermark = INT64_MIN;
+    /// Global arrival sequence number of the next ingested row; shards use
+    /// it to restore exact arrival order when merging partial aggregates.
+    int64_t ingest_seq = 0;
     std::vector<Subscription> subs;
     std::vector<Channel*> channels;        // owned by channels_
     std::vector<CqCallback> client_subs;
@@ -149,6 +173,16 @@ class StreamRuntime {
 
   Status AttachCqSubscription(ContinuousQuery* cq);
 
+  /// Parallel twin of the Ingest row loop: stamps/validates on the
+  /// coordinator, hash-partitions rows to the worker shards, and barriers
+  /// before evaluating any window close so merges see complete partials.
+  Status IngestParallel(StreamState* state, const std::vector<Row>& rows,
+                        int64_t system_time);
+
+  /// Folds the workers' cumulative stats into the `shard` scope metrics
+  /// (delta counters; call only while workers are idle).
+  void UpdateShardMetrics();
+
   catalog::Catalog* catalog_;
   storage::TransactionManager* txns_;
   storage::WriteAheadLog* wal_;
@@ -160,6 +194,23 @@ class StreamRuntime {
   int64_t rows_ingested_ = 0;
   MetricsRegistry metrics_;
   Counter* engine_rows_metric_ = nullptr;  // engine-wide ingest total
+
+  int parallelism_ = 1;
+  /// Cached `shard` scope metric cells plus the last folded-in worker
+  /// totals (workers expose cumulative stats; the registry gets deltas).
+  struct ShardMetricCells {
+    Counter* rows = nullptr;
+    Counter* chunks = nullptr;
+    Counter* backpressure_waits = nullptr;
+    Gauge* queue_high_water = nullptr;
+    int64_t last_rows = 0;
+    int64_t last_chunks = 0;
+    int64_t last_backpressure = 0;
+  };
+  std::vector<ShardMetricCells> shard_cells_;
+  /// Declared after registry_ so workers (which reference pipeline shard
+  /// state while draining) are joined before the registry is destroyed.
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
 };
 
 }  // namespace streamrel::stream

@@ -1,0 +1,78 @@
+#include "stream/shard_pool.h"
+
+namespace streamrel::stream {
+
+ShardWorker::ShardWorker(size_t index, size_t queue_capacity)
+    : index_(index),
+      capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      thread_([this] { Loop(); }) {}
+
+ShardWorker::~ShardWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  worker_cv_.notify_one();
+  thread_.join();
+}
+
+void ShardWorker::Push(ShardChunk chunk) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.size() >= capacity_) {
+    ++backpressure_waits_;
+    producer_cv_.wait(lock, [this] { return queue_.size() < capacity_; });
+  }
+  queue_.push_back(std::move(chunk));
+  if (static_cast<int64_t>(queue_.size()) > max_queue_depth_) {
+    max_queue_depth_ = static_cast<int64_t>(queue_.size());
+  }
+  lock.unlock();
+  worker_cv_.notify_one();
+}
+
+void ShardWorker::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  producer_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+Status ShardWorker::TakeError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status error = error_;
+  error_ = Status::OK();
+  return error;
+}
+
+void ShardWorker::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    worker_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    ShardChunk chunk = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    // Wake a Push blocked on capacity as soon as the slot frees up.
+    producer_cv_.notify_one();
+
+    Status status;
+    int64_t done = 0;
+    for (const ShardRow& sr : chunk.rows) {
+      for (SliceAggregator* pipeline : *chunk.pipelines) {
+        status = pipeline->shard(index_)->AddRow(sr.ts, sr.row, sr.seq);
+        if (!status.ok()) break;
+      }
+      if (!status.ok()) break;  // first error wins; rest of chunk dropped
+      ++done;
+    }
+
+    lock.lock();
+    busy_ = false;
+    rows_processed_ += done;
+    ++chunks_processed_;
+    if (!status.ok() && error_.ok()) error_ = status;
+    // Wake WaitIdle (and capacity waiters) now that the chunk retired.
+    producer_cv_.notify_one();
+  }
+}
+
+}  // namespace streamrel::stream

@@ -1,0 +1,98 @@
+#ifndef STREAMREL_STREAM_SHARD_POOL_H_
+#define STREAMREL_STREAM_SHARD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "stream/shared_aggregation.h"
+
+namespace streamrel::stream {
+
+/// One row routed to a shard: the stamped row plus its CQTIME and global
+/// per-stream ingest sequence number (used to reconstruct arrival order at
+/// merge time).
+struct ShardRow {
+  int64_t ts = 0;
+  int64_t seq = 0;
+  Row row;
+};
+
+/// A unit of shard work: a contiguous run of rows for one stream, applied
+/// to every shared pipeline attached to that stream. `pipelines` points at
+/// the registry's per-stream vector; it is only mutated while all workers
+/// are idle (the runtime barriers around control-plane changes).
+struct ShardChunk {
+  const std::vector<SliceAggregator*>* pipelines = nullptr;
+  std::vector<ShardRow> rows;
+};
+
+/// One partition-parallel worker: a thread draining a bounded
+/// single-producer/single-consumer chunk queue. The coordinator (the
+/// runtime's ingest thread) is the only producer; Push blocks when the
+/// queue is full (backpressure), so a slow shard throttles ingest instead
+/// of growing unbounded state.
+///
+/// Memory model: the worker touches shard-replica aggregator state only
+/// while processing a chunk. The coordinator reads or mutates that state
+/// only after WaitIdle() returns; the queue mutex makes the worker's
+/// writes happen-before the coordinator's reads, and the coordinator's
+/// control-plane mutations happen-before the next Push's processing.
+class ShardWorker {
+ public:
+  /// `index` selects which replica (`pipeline->shard(index)`) this worker
+  /// updates; `queue_capacity` bounds the number of in-flight chunks.
+  ShardWorker(size_t index, size_t queue_capacity);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Enqueues a chunk, blocking while the queue is at capacity.
+  void Push(ShardChunk chunk);
+
+  /// Blocks until the queue is drained and no chunk is being processed.
+  /// After it returns, the coordinator may safely read shard state.
+  void WaitIdle();
+
+  /// First error hit while absorbing rows since the last call (cleared on
+  /// read). Meaningful only after WaitIdle.
+  Status TakeError();
+
+  // Cumulative stats; read by the coordinator while the worker is idle.
+  int64_t rows_processed() const { return rows_processed_; }
+  int64_t chunks_processed() const { return chunks_processed_; }
+  int64_t backpressure_waits() const { return backpressure_waits_; }
+  int64_t max_queue_depth() const { return max_queue_depth_; }
+
+ private:
+  void Loop();
+
+  const size_t index_;
+  const size_t capacity_;
+
+  std::mutex mu_;
+  std::condition_variable producer_cv_;  // queue has room / worker idle
+  std::condition_variable worker_cv_;    // queue has work / stop
+  std::deque<ShardChunk> queue_;         // guarded by mu_
+  bool busy_ = false;                    // guarded by mu_
+  bool stop_ = false;                    // guarded by mu_
+  Status error_;                         // guarded by mu_
+  // Stats are written by the worker under mu_ at chunk completion and by
+  // the producer under mu_ in Push; readers run while the worker is idle.
+  int64_t rows_processed_ = 0;
+  int64_t chunks_processed_ = 0;
+  int64_t backpressure_waits_ = 0;
+  int64_t max_queue_depth_ = 0;
+
+  std::thread thread_;  // last member: starts after state is ready
+};
+
+}  // namespace streamrel::stream
+
+#endif  // STREAMREL_STREAM_SHARD_POOL_H_

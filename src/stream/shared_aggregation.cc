@@ -1,5 +1,7 @@
 #include "stream/shared_aggregation.h"
 
+#include <algorithm>
+
 #include "exec/operators.h"
 
 namespace streamrel::stream {
@@ -10,6 +12,17 @@ SliceAggregator::SliceAggregator(int64_t slice_width_micros,
     : slice_width_(slice_width_micros),
       filter_(std::move(filter)),
       group_exprs_(std::move(group_exprs)) {}
+
+SliceAggregator::SliceAggregator(const SliceAggregator* parent)
+    : slice_width_(parent->slice_width_), parent_(parent) {}
+
+bool SliceAggregator::HasAbsorbed() const {
+  if (rows_absorbed_ > 0 || !slices_.empty()) return true;
+  for (const auto& shard : shards_) {
+    if (shard->rows_absorbed_ > 0 || !shard->slices_.empty()) return true;
+  }
+  return false;
+}
 
 Result<std::vector<size_t>> SliceAggregator::RegisterCalls(
     std::vector<exec::AggregateCall> calls) {
@@ -24,7 +37,7 @@ Result<std::vector<size_t>> SliceAggregator::RegisterCalls(
       }
     }
     if (slot == calls_.size()) {
-      if (rows_absorbed_ > 0 || !slices_.empty()) {
+      if (HasAbsorbed()) {
         return Status::Aborted(
             "cannot add aggregate '" + call.display_name +
             "' to a live shared pipeline (no backfill); use a fresh "
@@ -40,7 +53,7 @@ Result<std::vector<size_t>> SliceAggregator::RegisterCalls(
 
 bool SliceAggregator::CanAccept(
     const std::vector<exec::AggregateCall>& calls) const {
-  if (rows_absorbed_ == 0 && slices_.empty()) return true;
+  if (!HasAbsorbed()) return true;
   for (const exec::AggregateCall& call : calls) {
     bool found = false;
     for (const exec::AggregateCall& mine : calls_) {
@@ -55,9 +68,10 @@ bool SliceAggregator::CanAccept(
 }
 
 Result<std::vector<exec::AggStatePtr>> SliceAggregator::NewStates() const {
+  const std::vector<exec::AggregateCall>& all = calls();
   std::vector<exec::AggStatePtr> states;
-  states.reserve(calls_.size());
-  for (const exec::AggregateCall& call : calls_) {
+  states.reserve(all.size());
+  for (const exec::AggregateCall& call : all) {
     ASSIGN_OR_RETURN(exec::AggStatePtr state,
                      exec::MakeAggState(call.function, call.star,
                                         call.distinct));
@@ -66,10 +80,34 @@ Result<std::vector<exec::AggStatePtr>> SliceAggregator::NewStates() const {
   return states;
 }
 
-Status SliceAggregator::AddRow(int64_t ts, const Row& row) {
+SliceAggregator::Group* SliceAggregator::FindOrCreateGroup(
+    Slice* slice, std::vector<Value> keys, int64_t first_seq,
+    Status* status) {
+  size_t h = exec::HashValues(keys);
+  auto& bucket = slice->lookup[h];
+  for (size_t idx : bucket) {
+    if (exec::ValuesEqual(slice->groups[idx].keys, keys)) {
+      return &slice->groups[idx];
+    }
+  }
+  bucket.push_back(slice->groups.size());
+  Group g;
+  g.keys = std::move(keys);
+  g.first_seq = first_seq;
+  auto states = NewStates();
+  if (!states.ok()) {
+    *status = states.status();
+    return nullptr;
+  }
+  g.states = states.TakeValue();
+  slice->groups.push_back(std::move(g));
+  return &slice->groups.back();
+}
+
+Status SliceAggregator::AddRow(int64_t ts, const Row& row, int64_t seq) {
   exec::EvalContext ctx;  // cq_close is not available pre-aggregation
-  if (filter_ != nullptr) {
-    ASSIGN_OR_RETURN(bool keep, exec::EvalPredicate(*filter_, row, ctx));
+  if (filter() != nullptr) {
+    ASSIGN_OR_RETURN(bool keep, exec::EvalPredicate(*filter(), row, ctx));
     if (!keep) return Status::OK();
   }
   int64_t q = ts / slice_width_;
@@ -78,32 +116,19 @@ Status SliceAggregator::AddRow(int64_t ts, const Row& row) {
   Slice& slice = slices_[slice_start];
 
   std::vector<Value> keys;
-  keys.reserve(group_exprs_.size());
-  for (const auto& g : group_exprs_) {
+  keys.reserve(group_exprs().size());
+  for (const auto& g : group_exprs()) {
     ASSIGN_OR_RETURN(Value v, g->Eval(row, ctx));
     keys.push_back(std::move(v));
   }
-  size_t h = exec::HashValues(keys);
-  auto& bucket = slice.lookup[h];
-  Group* group = nullptr;
-  for (size_t idx : bucket) {
-    if (exec::ValuesEqual(slice.groups[idx].keys, keys)) {
-      group = &slice.groups[idx];
-      break;
-    }
-  }
-  if (group == nullptr) {
-    bucket.push_back(slice.groups.size());
-    Group g;
-    g.keys = std::move(keys);
-    ASSIGN_OR_RETURN(g.states, NewStates());
-    slice.groups.push_back(std::move(g));
-    group = &slice.groups.back();
-  }
-  for (size_t i = 0; i < calls_.size(); ++i) {
+  Status status;
+  Group* group = FindOrCreateGroup(&slice, std::move(keys), seq, &status);
+  if (group == nullptr) return status;
+  const std::vector<exec::AggregateCall>& all = calls();
+  for (size_t i = 0; i < all.size(); ++i) {
     Value arg = Value::Null();
-    if (calls_[i].argument != nullptr) {
-      ASSIGN_OR_RETURN(arg, calls_[i].argument->Eval(row, ctx));
+    if (all[i].argument != nullptr) {
+      ASSIGN_OR_RETURN(arg, all[i].argument->Eval(row, ctx));
     }
     group->states[i]->Update(arg);
   }
@@ -122,12 +147,12 @@ Result<std::vector<Row>> SliceAggregator::ComputeWindow(
   // Which union slots to merge/finalize, in output order.
   std::vector<size_t> all;
   if (slots == nullptr) {
-    all.resize(calls_.size());
+    all.resize(calls().size());
     for (size_t i = 0; i < all.size(); ++i) all[i] = i;
     slots = &all;
   }
   for (size_t slot : *slots) {
-    if (slot >= calls_.size()) {
+    if (slot >= calls().size()) {
       return Status::Internal("aggregate slot out of range");
     }
   }
@@ -135,37 +160,80 @@ Result<std::vector<Row>> SliceAggregator::ComputeWindow(
   std::vector<Group> merged;
   std::unordered_map<size_t, std::vector<size_t>> lookup;
 
-  for (auto it = slices_.lower_bound(open);
-       it != slices_.end() && it->first < close; ++it) {
-    for (const Group& g : it->second.groups) {
-      size_t h = exec::HashValues(g.keys);
-      auto& bucket = lookup[h];
-      Group* target = nullptr;
-      for (size_t idx : bucket) {
-        if (exec::ValuesEqual(merged[idx].keys, g.keys)) {
-          target = &merged[idx];
-          break;
+  // Folds one partial group into the window accumulator, preserving
+  // first-occurrence order (the order `absorb` is called in).
+  auto absorb = [&](const Group& g) -> Status {
+    size_t h = exec::HashValues(g.keys);
+    auto& bucket = lookup[h];
+    Group* target = nullptr;
+    for (size_t idx : bucket) {
+      if (exec::ValuesEqual(merged[idx].keys, g.keys)) {
+        target = &merged[idx];
+        break;
+      }
+    }
+    if (target == nullptr) {
+      bucket.push_back(merged.size());
+      Group copy;
+      copy.keys = g.keys;
+      copy.states.reserve(slots->size());
+      for (size_t slot : *slots) {
+        copy.states.push_back(g.states[slot]->Clone());
+      }
+      merged.push_back(std::move(copy));
+      return Status::OK();
+    }
+    for (size_t i = 0; i < slots->size(); ++i) {
+      RETURN_IF_ERROR(target->states[i]->Merge(*g.states[(*slots)[i]]));
+    }
+    return Status::OK();
+  };
+
+  if (shards_.empty()) {
+    // Single-threaded pipeline: slices in time order, groups in insertion
+    // (= arrival) order.
+    for (auto it = slices_.lower_bound(open);
+         it != slices_.end() && it->first < close; ++it) {
+      for (const Group& g : it->second.groups) {
+        RETURN_IF_ERROR(absorb(g));
+      }
+    }
+  } else {
+    // Partition-parallel pipeline: gather each slice's partial groups from
+    // the parent (pre-shard history) and every shard, then absorb them in
+    // global arrival order (first_seq). Within one slice a shard's
+    // insertion order already follows its rows' seqs, and each row lives in
+    // exactly one shard, so the stable sort reconstructs the exact order a
+    // single-threaded pass would have created the groups in.
+    struct Entry {
+      int64_t first_seq;
+      const Group* group;
+    };
+    std::map<int64_t, std::vector<Entry>> by_slice;
+    auto gather = [&](const SliceAggregator& src) {
+      for (auto it = src.slices_.lower_bound(open);
+           it != src.slices_.end() && it->first < close; ++it) {
+        auto& entries = by_slice[it->first];
+        for (const Group& g : it->second.groups) {
+          entries.push_back(Entry{g.first_seq, &g});
         }
       }
-      if (target == nullptr) {
-        bucket.push_back(merged.size());
-        Group copy;
-        copy.keys = g.keys;
-        copy.states.reserve(slots->size());
-        for (size_t slot : *slots) {
-          copy.states.push_back(g.states[slot]->Clone());
-        }
-        merged.push_back(std::move(copy));
-        continue;
-      }
-      for (size_t i = 0; i < slots->size(); ++i) {
-        RETURN_IF_ERROR(target->states[i]->Merge(*g.states[(*slots)[i]]));
+    };
+    gather(*this);
+    for (const auto& shard : shards_) gather(*shard);
+    for (auto& [start, entries] : by_slice) {
+      std::stable_sort(entries.begin(), entries.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.first_seq < b.first_seq;
+                       });
+      for (const Entry& e : entries) {
+        RETURN_IF_ERROR(absorb(*e.group));
       }
     }
   }
 
   // Scalar aggregation emits one row even for an empty window.
-  if (merged.empty() && group_exprs_.empty()) {
+  if (merged.empty() && group_exprs().empty()) {
     Group g;
     ASSIGN_OR_RETURN(std::vector<exec::AggStatePtr> fresh, NewStates());
     g.states.reserve(slots->size());
@@ -187,6 +255,85 @@ void SliceAggregator::EvictBefore(int64_t ts) {
   while (!slices_.empty() && slices_.begin()->first + slice_width_ <= ts) {
     slices_.erase(slices_.begin());
   }
+  for (auto& shard : shards_) shard->EvictBefore(ts);
+}
+
+size_t SliceAggregator::live_slices() const {
+  size_t n = slices_.size();
+  for (const auto& shard : shards_) n += shard->slices_.size();
+  return n;
+}
+
+int64_t SliceAggregator::rows_absorbed() const {
+  int64_t n = rows_absorbed_;
+  for (const auto& shard : shards_) n += shard->rows_absorbed_;
+  return n;
+}
+
+Status SliceAggregator::FoldShardsIn() {
+  struct Entry {
+    int64_t first_seq;
+    const Group* group;
+  };
+  std::map<int64_t, std::vector<Entry>> by_slice;
+  for (const auto& shard : shards_) {
+    for (const auto& [start, slice] : shard->slices_) {
+      auto& entries = by_slice[start];
+      for (const Group& g : slice.groups) {
+        entries.push_back(Entry{g.first_seq, &g});
+      }
+    }
+    rows_absorbed_ += shard->rows_absorbed_;
+  }
+  for (auto& [start, entries] : by_slice) {
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.first_seq < b.first_seq;
+                     });
+    Slice& dst = slices_[start];
+    for (const Entry& e : entries) {
+      size_t h = exec::HashValues(e.group->keys);
+      auto& bucket = dst.lookup[h];
+      Group* target = nullptr;
+      for (size_t idx : bucket) {
+        if (exec::ValuesEqual(dst.groups[idx].keys, e.group->keys)) {
+          target = &dst.groups[idx];
+          break;
+        }
+      }
+      if (target == nullptr) {
+        bucket.push_back(dst.groups.size());
+        Group copy;
+        copy.keys = e.group->keys;
+        copy.first_seq = e.group->first_seq;
+        copy.states.reserve(e.group->states.size());
+        for (const auto& state : e.group->states) {
+          copy.states.push_back(state->Clone());
+        }
+        dst.groups.push_back(std::move(copy));
+        continue;
+      }
+      for (size_t i = 0; i < target->states.size(); ++i) {
+        RETURN_IF_ERROR(target->states[i]->Merge(*e.group->states[i]));
+      }
+    }
+  }
+  shards_.clear();
+  return Status::OK();
+}
+
+Status SliceAggregator::SetShardCount(size_t n) {
+  if (parent_ != nullptr) {
+    return Status::Internal("shard replicas cannot themselves be sharded");
+  }
+  RETURN_IF_ERROR(FoldShardsIn());
+  if (n >= 2) {
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      shards_.emplace_back(new SliceAggregator(this));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace streamrel::stream

@@ -28,6 +28,16 @@ namespace streamrel::stream {
 ///
 /// The aggregate-call list is the union across member CQs; each member gets
 /// a slot mapping from its calls into the union.
+///
+/// Partition-parallel execution: a pipeline can be split into N *shard*
+/// replicas (SetShardCount). Each replica shares the parent's filter,
+/// group expressions, and call union (read-only at evaluation time) but
+/// owns its own slice map, so N worker threads can absorb disjoint row
+/// partitions concurrently. At window close, ComputeWindow on the parent
+/// merges the shards' per-slice partial states; each group's position in
+/// the output follows the global first-seen ingest sequence number, so the
+/// merged relation is exactly what single-threaded absorption would have
+/// produced (aggregate states Merge associatively; see AggState).
 class SliceAggregator {
  public:
   /// `filter` (nullable) and `group_exprs` are bound against the stream
@@ -49,8 +59,11 @@ class SliceAggregator {
   /// union.
   bool CanAccept(const std::vector<exec::AggregateCall>& calls) const;
 
-  /// Absorbs one stream row into its slice (ts / slice_width).
-  Status AddRow(int64_t ts, const Row& row);
+  /// Absorbs one stream row into its slice (ts / slice_width). `seq` is the
+  /// row's global per-stream ingest sequence number; a group remembers the
+  /// seq of its first row per slice so sharded partials can be merged back
+  /// in exact arrival order.
+  Status AddRow(int64_t ts, const Row& row, int64_t seq = 0);
 
   /// Produces the aggregated relation for the window [close - visible,
   /// close). With `slots == nullptr`, rows are laid out as
@@ -59,18 +72,39 @@ class SliceAggregator {
   /// a member CQ passes its slot mapping so it never pays for aggregates
   /// other members registered. With no group keys, exactly one row is
   /// produced (possibly from zero input). `visible` must be a multiple of
-  /// the slice width.
+  /// the slice width. When shard replicas exist, partials from the parent
+  /// and every shard are merged.
   Result<std::vector<Row>> ComputeWindow(
       int64_t close, int64_t visible,
       const std::vector<size_t>* slots = nullptr) const;
 
-  /// Drops slices that no member window can still reference.
+  /// Drops slices (own and shards') that no member window can reference.
   void EvictBefore(int64_t ts);
 
+  // --- sharding --------------------------------------------------------------
+
+  /// Re-partitions the pipeline for `n` parallel workers: existing shard
+  /// state (if any) is folded back into the parent exactly once, then
+  /// `n` fresh replicas are created (none for n <= 1, returning the
+  /// pipeline to single-threaded operation). Callers must guarantee no
+  /// worker is touching the shards (the runtime barriers first).
+  Status SetShardCount(size_t n);
+  size_t shard_count() const { return shards_.size(); }
+  /// Worker `i`'s replica. Only that worker may call AddRow on it.
+  SliceAggregator* shard(size_t i) { return shards_[i].get(); }
+
+  /// The bound GROUP BY expressions (parent config; empty for scalar
+  /// aggregation). The runtime evaluates these to hash-partition rows.
+  const std::vector<exec::BoundExprPtr>& group_exprs() const {
+    return parent_ != nullptr ? parent_->group_exprs() : group_exprs_;
+  }
+
   int64_t slice_width() const { return slice_width_; }
-  size_t union_call_count() const { return calls_.size(); }
-  size_t live_slices() const { return slices_.size(); }
-  int64_t rows_absorbed() const { return rows_absorbed_; }
+  size_t union_call_count() const { return calls().size(); }
+  /// Live slices across the parent and all shards.
+  size_t live_slices() const;
+  /// Rows absorbed across the parent and all shards.
+  int64_t rows_absorbed() const;
   /// CQs that have attached to this pipeline (RegisterCalls count). One
   /// means dedicated; more means the per-row work is genuinely shared.
   int64_t member_cqs() const { return member_cqs_; }
@@ -86,13 +120,39 @@ class SliceAggregator {
   struct Group {
     std::vector<Value> keys;
     std::vector<exec::AggStatePtr> states;
+    /// Ingest seq of the first row that created this group in this slice;
+    /// total order across shards (each row lands in exactly one shard).
+    int64_t first_seq = 0;
   };
   struct Slice {
     std::vector<Group> groups;
     std::unordered_map<size_t, std::vector<size_t>> lookup;
   };
 
+  /// Shard replica: shares the parent's filter/group/call configuration,
+  /// owns only its slice map.
+  explicit SliceAggregator(const SliceAggregator* parent);
+
+  const exec::BoundExpr* filter() const {
+    return parent_ != nullptr ? parent_->filter() : filter_.get();
+  }
+  const std::vector<exec::AggregateCall>& calls() const {
+    return parent_ != nullptr ? parent_->calls() : calls_;
+  }
+  /// True once any row or slice exists anywhere in the pipeline (parent or
+  /// shards) — the point after which the call union is frozen.
+  bool HasAbsorbed() const;
+
   Result<std::vector<exec::AggStatePtr>> NewStates() const;
+
+  /// Locates or creates `keys`' group in `slice`, preserving insertion
+  /// order; `first_seq` is recorded on creation.
+  Group* FindOrCreateGroup(Slice* slice, std::vector<Value> keys,
+                           int64_t first_seq, Status* status);
+
+  /// Merges every shard's slices back into the parent's own slice map (in
+  /// global first-seen order) and discards the shards.
+  Status FoldShardsIn();
 
   const int64_t slice_width_;
   exec::BoundExprPtr filter_;
@@ -102,6 +162,9 @@ class SliceAggregator {
   int64_t rows_absorbed_ = 0;
   int64_t max_visible_ = 0;
   int64_t member_cqs_ = 0;
+
+  const SliceAggregator* parent_ = nullptr;  // set on shard replicas
+  std::vector<std::unique_ptr<SliceAggregator>> shards_;
 };
 
 }  // namespace streamrel::stream

@@ -1,0 +1,121 @@
+// Concurrency stress: multiple producer threads hammer Ingest on separate
+// streams while a control thread concurrently runs SHOW STATS, drops and
+// re-creates a CQ, and toggles SET PARALLELISM. The Database's engine mutex
+// must serialize everything: no data races (run under TSAN via
+// scripts/sanitize.sh thread), no crashes, and no lost rows. Timestamps are
+// logical, so the test is deterministic in outcome even though thread
+// interleaving is not.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/time.h"
+#include "test_util.h"
+
+namespace streamrel {
+namespace {
+
+constexpr int64_t kSec = kMicrosPerSecond;
+
+TEST(ConcurrencyStressTest, IngestVsControlPlane) {
+  constexpr int kProducers = 3;
+  constexpr int kBatchesPerProducer = 60;
+  constexpr int kRowsPerBatch = 8;
+
+  engine::Database db;
+  for (int p = 0; p < kProducers; ++p) {
+    MustExecute(&db, "CREATE STREAM s" + std::to_string(p) +
+                         " (url varchar, ts timestamp CQTIME USER, "
+                         "bytes bigint)");
+  }
+  // One long-lived CQ per stream (stays up for the whole run) plus one
+  // churn CQ on s0 that the control thread drops and re-creates.
+  for (int p = 0; p < kProducers; ++p) {
+    auto cq = db.CreateContinuousQuery(
+        "keep" + std::to_string(p),
+        "SELECT url, count(*), sum(bytes) FROM s" + std::to_string(p) +
+            " <VISIBLE '1 minute'> GROUP BY url");
+    ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  }
+  MustExecute(&db, "SET PARALLELISM 2");
+
+  std::atomic<bool> failed{false};
+  auto record_failure = [&failed](const Status& st) {
+    if (!st.ok() && !failed.exchange(true)) {
+      ADD_FAILURE() << st.ToString();
+    }
+  };
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&db, &record_failure, p]() {
+      const std::string stream = "s" + std::to_string(p);
+      int64_t ts = 0;
+      for (int b = 0; b < kBatchesPerProducer; ++b) {
+        std::vector<Row> rows;
+        rows.reserve(kRowsPerBatch);
+        for (int r = 0; r < kRowsPerBatch; ++r) {
+          ts += kSec;
+          rows.push_back(Row{Value::String("u" + std::to_string(r % 4)),
+                             Value::Timestamp(ts),
+                             Value::Int64(b * kRowsPerBatch + r)});
+        }
+        record_failure(db.Ingest(stream, rows));
+      }
+    });
+  }
+
+  std::thread control([&db, &record_failure]() {
+    for (int i = 0; i < 40; ++i) {
+      // SHOW STATS walks every metric (and refreshes pull gauges) while
+      // producers are mid-flight.
+      auto stats = db.Execute("SHOW STATS");
+      record_failure(stats.status());
+
+      // Churn a CQ on s0: create, then drop. Either call may interleave
+      // anywhere between producer batches.
+      auto churn = db.CreateContinuousQuery(
+          "churn", "SELECT count(*) FROM s0 <VISIBLE '30 seconds'>");
+      if (churn.ok()) {
+        record_failure(db.DropContinuousQuery("churn"));
+      } else {
+        record_failure(churn.status());
+      }
+
+      // Toggle the worker fleet: folds shard state back and re-splits it
+      // between batches of concurrent ingest.
+      record_failure(
+          db.Execute("SET PARALLELISM " + std::to_string(1 + i % 4))
+              .status());
+    }
+  });
+
+  for (std::thread& t : producers) t.join();
+  control.join();
+  ASSERT_FALSE(failed.load());
+
+  // No rows were lost: each stream absorbed every batch.
+  auto stats = db.StatsSnapshot();
+  const int64_t expected = kBatchesPerProducer * kRowsPerBatch;
+  for (int p = 0; p < kProducers; ++p) {
+    const std::string name = "s" + std::to_string(p);
+    bool found = false;
+    for (const stream::MetricSample& sample : stats.metrics) {
+      if (sample.scope == "stream" && sample.name == name &&
+          sample.metric == "rows_ingested") {
+        EXPECT_EQ(sample.value, expected) << name;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << name;
+  }
+  EXPECT_EQ(db.runtime()->rows_ingested(), expected * kProducers);
+}
+
+}  // namespace
+}  // namespace streamrel

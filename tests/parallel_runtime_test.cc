@@ -1,0 +1,250 @@
+// Serial-vs-parallel differential testing for the partitioned runtime:
+// the same randomized workload is replayed at PARALLELISM 1, 2, and 4, and
+// every observable output — each CQ's per-window delivery (close time, row
+// contents, row order) and the final active-table state — must be
+// byte-identical across the three runs. Workloads mix CQTIME USER and
+// CQTIME SYSTEM streams, out-of-order arrivals within a reorder slack,
+// several CQs sharing one slice pipeline, grouped/scalar/filtered shapes,
+// and a channel into an active table. Aggregates stick to integer inputs so
+// results are exact regardless of merge order; group *order* in unsorted
+// CQ output still must match serial first-arrival order exactly.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "stream/reorder_buffer.h"
+#include "test_util.h"
+
+namespace streamrel {
+namespace {
+
+constexpr int64_t kSec = kMicrosPerSecond;
+
+/// Everything observable from one workload run, rendered to strings.
+struct Transcript {
+  std::vector<std::string> events;   // CQ deliveries, in delivery order
+  std::vector<std::string> archive;  // final active-table contents
+};
+
+void CaptureCq(engine::Database* db, const std::string& name,
+               const std::string& sql, Transcript* out) {
+  auto cq = db->CreateContinuousQuery(name, sql);
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  (*cq)->AddCallback(
+      [out, name](int64_t close, const std::vector<Row>& rows) {
+        for (const Row& row : rows) {
+          out->events.push_back(name + "@" + std::to_string(close) + ": " +
+                                RowToString(row));
+        }
+        return Status::OK();
+      });
+}
+
+/// Replays the seed's workload at the given parallelism level. Void so
+/// ASSERT_* can abort the run; check HasFatalFailure() after calling.
+void RunWorkload(int seed, int parallelism, Transcript* transcript) {
+  std::mt19937 rng(static_cast<uint32_t>(seed) * 2654435761u + 17);
+  Transcript& out = *transcript;
+  engine::Database db;
+
+  // Half the seeds set parallelism before any object exists (workers see
+  // pipelines appear later); the other half re-shard live pipelines.
+  const bool set_early = rng() % 2 == 0;
+  const std::string set_sql = "SET PARALLELISM " + std::to_string(parallelism);
+  if (set_early) MustExecute(&db, set_sql);
+
+  MustExecute(&db,
+              "CREATE STREAM clicks (url varchar, ts timestamp CQTIME USER, "
+              "bytes bigint)");
+  MustExecute(&db,
+              "CREATE STREAM sysload (ts timestamp CQTIME SYSTEM, "
+              "host varchar, cpu bigint)");
+
+  // Two CQs sharing one slice pipeline (same window/group signature); the
+  // second has no ORDER BY, so its group order must reproduce the serial
+  // first-arrival order.
+  CaptureCq(&db, "cq_url",
+            "SELECT url, count(*), sum(bytes), min(bytes), max(bytes) "
+            "FROM clicks <VISIBLE '1 minute' ADVANCE '20 seconds'> "
+            "GROUP BY url ORDER BY url",
+            &out);
+  CaptureCq(&db, "cq_url_unordered",
+            "SELECT url, count(*) "
+            "FROM clicks <VISIBLE '1 minute' ADVANCE '20 seconds'> "
+            "GROUP BY url",
+            &out);
+  // Scalar aggregate: no group key, so parallel runs round-robin rows and
+  // depend entirely on merge-at-close.
+  CaptureCq(&db, "cq_total",
+            "SELECT count(*), sum(bytes) FROM clicks <VISIBLE '1 minute'>",
+            &out);
+  const int64_t threshold = static_cast<int64_t>(rng() % 800);
+  CaptureCq(&db, "cq_big",
+            "SELECT url, count(*) FROM clicks <VISIBLE '40 seconds'> "
+            "WHERE bytes > " + std::to_string(threshold) +
+            " GROUP BY url ORDER BY url",
+            &out);
+  // System-time stream with avg (merged as sum+count).
+  CaptureCq(&db, "cq_host",
+            "SELECT host, count(*), sum(cpu), avg(cpu) "
+            "FROM sysload <VISIBLE '30 seconds'> "
+            "GROUP BY host ORDER BY host",
+            &out);
+
+  // Channel: derived per-minute counts flow into an active table.
+  MustExecute(&db,
+              "CREATE STREAM url_counts AS SELECT url, count(*) AS c, "
+              "cq_close(*) AS w FROM clicks <VISIBLE '1 minute'> "
+              "GROUP BY url");
+  MustExecute(&db,
+              "CREATE TABLE archive (url varchar, c bigint, w timestamp)");
+  MustExecute(&db, "CREATE CHANNEL ch FROM url_counts INTO archive APPEND");
+
+  if (!set_early) MustExecute(&db, set_sql);
+
+  // Clicks arrive nearly ordered; a slack buffer restores order before
+  // ingest, exactly as a real collector front-end would.
+  const int64_t slack = 15 * kSec;
+  stream::ReorderBuffer reorder(
+      slack, [&db](const std::vector<Row>& ordered) {
+        return db.Ingest("clicks", ordered);
+      });
+
+  const int n_clicks = 80 + static_cast<int>(rng() % 80);
+  const int n_sys_batches = 25 + static_cast<int>(rng() % 20);
+  const bool reshard_midstream = rng() % 3 == 0;
+
+  int64_t click_base = 5 * kSec;
+  int64_t sys_time = 2 * kSec;
+  int sys_sent = 0;
+  for (int i = 0; i < n_clicks; ++i) {
+    click_base += static_cast<int64_t>(rng() % (4 * kSec));
+    // Jitter backwards within the slack bound: out-of-order at the source,
+    // ordered again by the reorder buffer.
+    int64_t jitter = static_cast<int64_t>(rng() % (10 * kSec));
+    int64_t ts = std::max<int64_t>(0, click_base - jitter);
+    Row row{Value::String("u" + std::to_string(rng() % 7)),
+            Value::Timestamp(ts),
+            Value::Int64(static_cast<int64_t>(rng() % 1000))};
+    Status pushed = reorder.Push(ts, std::move(row));
+    ASSERT_TRUE(pushed.ok()) << pushed.ToString();
+
+    // Interleave a system-time batch roughly every third click.
+    if (rng() % 3 == 0 && sys_sent < n_sys_batches) {
+      sys_time += static_cast<int64_t>(rng() % (3 * kSec));
+      std::vector<Row> batch;
+      const int batch_rows = 1 + static_cast<int>(rng() % 3);
+      for (int b = 0; b < batch_rows; ++b) {
+        batch.push_back(Row{Value::Null(),
+                            Value::String("h" + std::to_string(rng() % 4)),
+                            Value::Int64(static_cast<int64_t>(rng() % 100))});
+      }
+      Status st = db.Ingest("sysload", batch, sys_time);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      ++sys_sent;
+    }
+
+    // Mid-stream re-shard on some seeds: fold shard state back into the
+    // parents and split it again (a no-op transcript-wise).
+    if (reshard_midstream && i == n_clicks / 2) {
+      MustExecute(&db, "SET PARALLELISM 1");
+      MustExecute(&db, set_sql);
+    }
+  }
+  ASSERT_TRUE(reorder.Flush().ok());
+
+  // Close every trailing window on both streams.
+  const int64_t end = click_base + 2 * kMicrosPerMinute;
+  ASSERT_TRUE(db.AdvanceTime("clicks", end).ok());
+  ASSERT_TRUE(db.AdvanceTime("sysload", sys_time + kMicrosPerMinute).ok());
+
+  out.archive =
+      RowStrings(MustExecute(&db, "SELECT url, c, w FROM archive "
+                                  "ORDER BY w, url"));
+}
+
+class ParallelDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDifferentialTest, SerialAndParallelRunsAgree) {
+  const int seed = GetParam();
+  SCOPED_TRACE("failing seed: " + std::to_string(seed));
+  Transcript serial;
+  RunWorkload(seed, 1, &serial);
+  if (HasFatalFailure()) return;
+  ASSERT_FALSE(serial.events.empty());
+  for (int parallelism : {2, 4}) {
+    SCOPED_TRACE("parallelism " + std::to_string(parallelism));
+    Transcript parallel;
+    RunWorkload(seed, parallelism, &parallel);
+    if (HasFatalFailure()) return;
+    EXPECT_EQ(serial.events, parallel.events);
+    EXPECT_EQ(serial.archive, parallel.archive);
+  }
+}
+
+// 200+ seeds: the acceptance bar for the partitioned runtime. Each seed
+// varies row counts, timestamps, jitter, filter thresholds, and whether
+// parallelism is set before or after CQ creation (plus mid-stream
+// re-sharding on a third of seeds).
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDifferentialTest,
+                         ::testing::Range(0, 210));
+
+TEST(SetParallelismTest, RejectsOutOfRangeValues) {
+  engine::Database db;
+  EXPECT_FALSE(db.Execute("SET PARALLELISM 0").ok());
+  EXPECT_FALSE(db.Execute("SET PARALLELISM -3").ok());
+  EXPECT_FALSE(db.Execute("SET PARALLELISM 1000").ok());
+  EXPECT_FALSE(db.Execute("SET FROBNICATION 2").ok());
+  EXPECT_TRUE(db.Execute("SET PARALLELISM 2").ok());
+  EXPECT_EQ(db.runtime()->parallelism(), 2);
+  EXPECT_TRUE(db.Execute("SET PARALLELISM 1").ok());
+  EXPECT_EQ(db.runtime()->parallelism(), 1);
+}
+
+TEST(SetParallelismTest, ShardMetricsAppearUnderShardScope) {
+  engine::Database db;
+  MustExecute(&db,
+              "CREATE STREAM s (url varchar, ts timestamp CQTIME USER)");
+  auto cq = db.CreateContinuousQuery(
+      "c", "SELECT url, count(*) FROM s <VISIBLE '1 minute'> GROUP BY url");
+  ASSERT_TRUE(cq.ok());
+  MustExecute(&db, "SET PARALLELISM 2");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Ingest("s", {Row{Value::String("u" + std::to_string(i % 5)),
+                                    Value::Timestamp(i * kSec)}})
+                    .ok());
+  }
+  auto stats = MustExecute(&db, "SHOW STATS");
+  int64_t shard_rows = 0;
+  bool saw_worker0 = false, saw_worker1 = false, saw_parallelism = false;
+  for (const Row& row : stats.rows) {
+    if (row[0].AsString() == "shard") {
+      if (row[1].AsString() == "worker0") saw_worker0 = true;
+      if (row[1].AsString() == "worker1") saw_worker1 = true;
+      if (row[2].AsString() == "rows_absorbed") shard_rows += row[3].AsInt64();
+    }
+    if (row[0].AsString() == "engine" && row[2].AsString() == "parallelism") {
+      saw_parallelism = true;
+      EXPECT_EQ(row[3].AsInt64(), 2);
+    }
+  }
+  EXPECT_TRUE(saw_worker0);
+  EXPECT_TRUE(saw_worker1);
+  EXPECT_TRUE(saw_parallelism);
+  // Every ingested row was absorbed by exactly one worker shard.
+  EXPECT_EQ(shard_rows, 50);
+
+  // Dropping back to serial removes the worker objects from SHOW STATS.
+  MustExecute(&db, "SET PARALLELISM 1");
+  stats = MustExecute(&db, "SHOW STATS");
+  for (const Row& row : stats.rows) {
+    EXPECT_NE(row[0].AsString(), "shard");
+  }
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -14,7 +14,10 @@ url,atime
 EOF
 
 OUT="$TMP_DIR/out.txt"
-"$SHELL_BIN" > "$OUT" 2>&1 <<EOF
+# Run the shell and keep its exit status: a crash (segfault, abort) must
+# fail the smoke test even if the output produced so far happens to match.
+SHELL_STATUS=0
+"$SHELL_BIN" > "$OUT" 2>&1 <<EOF || SHELL_STATUS=$?
 CREATE STREAM s (url varchar, atime timestamp CQTIME USER);
 SELECT url, count(*) AS hits FROM s <VISIBLE '1 minute'> GROUP BY url ORDER BY hits DESC;
 \\copy s $TMP_DIR/clicks.csv
@@ -35,6 +38,7 @@ fail() {
   exit 1
 }
 
+[ "$SHELL_STATUS" -eq 0 ] || fail "shell exited with status $SHELL_STATUS"
 grep -q "started continuous query cq_1" "$OUT" || fail "CQ not registered"
 grep -q "loaded 3 rows into s" "$OUT" || fail "\\copy failed"
 grep -q "(/a, 2)" "$OUT" || fail "window results missing"
