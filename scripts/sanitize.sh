@@ -5,7 +5,9 @@
 #
 # Builds into build-tsan/ or build-asan/ (separate from the normal build/)
 # so sanitized and plain object files never mix, then runs ctest. Any extra
-# arguments are forwarded to ctest (e.g. -R parallel_runtime_test).
+# arguments are forwarded to ctest (e.g. -R parallel_runtime_test). The
+# full suite includes the crash-recovery torture tests; scripts/torture.sh
+# runs just those (label `torture`) under ASan+UBSan.
 set -euo pipefail
 
 MODE="${1:-thread}"

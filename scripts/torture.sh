@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the crash-recovery torture suite (ctest label `torture`) under
+# ASan+UBSan.
+#
+#   scripts/torture.sh [ctest-args...]
+#
+# The suite replays 100 randomized workloads, crashing each one at sampled
+# k-th fault-point hits (with clean/torn/corrupt WAL tails) and recovering
+# via both strategies; recovered tables must match a no-crash oracle byte
+# for byte. A failure prints the (seed, strategy, k, mode) tuple to re-run
+# with --gtest_filter. Extra arguments are forwarded to ctest, e.g.
+#   scripts/torture.sh --verbose
+#
+# Reuses sanitize.sh's build-asan/ tree, so a prior sanitize run makes this
+# incremental (and vice versa).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BUILD_DIR="build-asan"
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTREAMREL_SANITIZE=address
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -L torture "$@"

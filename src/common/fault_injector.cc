@@ -1,0 +1,184 @@
+#include "common/fault_injector.h"
+
+namespace streamrel {
+
+namespace {
+
+constexpr const char* kCrashPrefix = "injected crash at fault point '";
+
+/// splitmix64: tiny, high-quality, and identical everywhere — the
+/// probabilistic policy must reproduce the same fire pattern for a given
+/// seed on every platform.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Status CrashStatus(const std::string& point) {
+  return Status::IoError(kCrashPrefix + point + "'");
+}
+
+Status FaultStatus(const std::string& point) {
+  return Status::IoError("injected fault at fault point '" + point + "'");
+}
+
+}  // namespace
+
+std::string FaultPolicy::ToString() const {
+  switch (kind) {
+    case Kind::kOff:
+      return "off";
+    case Kind::kFailOnce:
+      return "fail-once";
+    case Kind::kFailNth:
+      return "fail-nth(" + std::to_string(nth) + ")";
+    case Kind::kProbability:
+      return "probability(" + std::to_string(probability) + ", seed " +
+             std::to_string(seed) + ")";
+    case Kind::kCrashAtHit:
+      return "crash-at-hit(" + std::to_string(nth) + ")";
+  }
+  return "off";
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+Status FaultInjector::Hit(const char* point) {
+  if (!active_.load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashStatus(point);
+  ++global_hits_;
+  PointState& state = points_[point];  // lazily registers the point
+  ++state.hits;
+  if (global_crash_at_ > 0 && global_hits_ >= global_crash_at_) {
+    crashed_ = true;
+    ++crashes_fired_;
+    ++total_fires_;
+    ++state.fires;
+    return CrashStatus(point);
+  }
+  switch (state.policy.kind) {
+    case FaultPolicy::Kind::kOff:
+      return Status::OK();
+    case FaultPolicy::Kind::kFailOnce: {
+      state.policy = FaultPolicy::Off();
+      ++state.fires;
+      ++total_fires_;
+      RecomputeActiveLocked();
+      return FaultStatus(point);
+    }
+    case FaultPolicy::Kind::kFailNth: {
+      if (++state.hits_since_arm < state.policy.nth) return Status::OK();
+      state.policy = FaultPolicy::Off();
+      ++state.fires;
+      ++total_fires_;
+      RecomputeActiveLocked();
+      return FaultStatus(point);
+    }
+    case FaultPolicy::Kind::kProbability: {
+      // 53-bit uniform in [0, 1): bit-identical across platforms.
+      double u = static_cast<double>(NextRandom(&state.rng_state) >> 11) *
+                 (1.0 / 9007199254740992.0);
+      if (u >= state.policy.probability) return Status::OK();
+      ++state.fires;
+      ++total_fires_;
+      return FaultStatus(point);
+    }
+    case FaultPolicy::Kind::kCrashAtHit: {
+      if (++state.hits_since_arm < state.policy.nth) return Status::OK();
+      crashed_ = true;
+      ++crashes_fired_;
+      ++state.fires;
+      ++total_fires_;
+      return CrashStatus(point);
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Arm(const std::string& point, FaultPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  state.policy = policy;
+  state.hits_since_arm = 0;
+  state.rng_state = policy.seed;
+  RecomputeActiveLocked();
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.policy = FaultPolicy::Off();
+  RecomputeActiveLocked();
+}
+
+void FaultInjector::ArmCrashAtGlobalHit(int64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  global_hits_ = 0;
+  global_crash_at_ = k;
+  RecomputeActiveLocked();
+}
+
+void FaultInjector::EnableCounting(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counting_ = on;
+  RecomputeActiveLocked();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  counting_ = false;
+  crashed_ = false;
+  global_hits_ = 0;
+  global_crash_at_ = 0;
+  total_fires_ = 0;
+  crashes_fired_ = 0;
+  active_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+bool FaultInjector::IsInjectedCrash(const Status& status) {
+  return status.code() == StatusCode::kIoError &&
+         status.message().rfind(kCrashPrefix, 0) == 0;
+}
+
+std::vector<FaultInjector::PointInfo> FaultInjector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [name, state] : points_) {
+    out.push_back(
+        PointInfo{name, state.policy.ToString(), state.hits, state.fires});
+  }
+  return out;
+}
+
+FaultInjector::Totals FaultInjector::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Totals{global_hits_, total_fires_, crashes_fired_};
+}
+
+void FaultInjector::RecomputeActiveLocked() {
+  bool armed = counting_ || crashed_ || global_crash_at_ > 0;
+  if (!armed) {
+    for (const auto& [name, state] : points_) {
+      if (state.policy.kind != FaultPolicy::Kind::kOff) {
+        armed = true;
+        break;
+      }
+    }
+  }
+  active_.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace streamrel

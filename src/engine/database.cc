@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include "common/fault_injector.h"
 #include "common/string_util.h"
 #include "exec/binder.h"
 #include "exec/operators.h"
@@ -56,6 +57,10 @@ Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
       return ExecuteShowStats(static_cast<const sql::ShowStatsStmt&>(stmt));
     case sql::StatementKind::kSet:
       return ExecuteSet(static_cast<const sql::SetStmt&>(stmt));
+    case sql::StatementKind::kSetFault:
+      return ExecuteSetFault(static_cast<const sql::SetFaultStmt&>(stmt));
+    case sql::StatementKind::kShowFaults:
+      return ExecuteShowFaults(static_cast<const sql::ShowFaultsStmt&>(stmt));
     case sql::StatementKind::kCreateTable:
       return ExecuteCreateTable(
           static_cast<const sql::CreateTableStmt&>(stmt));
@@ -314,7 +319,7 @@ Status Database::EndWrite(storage::TxnId txn, bool autocommit) {
   commit.txn_id = txn;
   commit.int_payload = now_micros_;
   RETURN_IF_ERROR(wal_->Append(commit));
-  wal_->Sync();
+  RETURN_IF_ERROR(wal_->Sync());
   return txns_.Commit(txn, now_micros_).status();
 }
 
@@ -344,7 +349,7 @@ Result<QueryResult> Database::ExecuteTransaction(
       commit.txn_id = *active_txn_;
       commit.int_payload = now_micros_;
       RETURN_IF_ERROR(wal_->Append(commit));
-      wal_->Sync();
+      RETURN_IF_ERROR(wal_->Sync());
       RETURN_IF_ERROR(txns_.Commit(*active_txn_, now_micros_).status());
       active_txn_.reset();
       result.message = "COMMIT";
@@ -516,6 +521,19 @@ EngineStats Database::StatsSnapshot() {
       ->Set(stats.disk.bytes_written);
   metrics->GetGauge("engine", "disk", "simulated_io_micros")
       ->Set(stats.disk.simulated_io_micros);
+  metrics->GetGauge("recovery", "wal", "replays")->Set(recoveries_);
+  metrics->GetGauge("recovery", "wal", "rows_replayed")
+      ->Set(last_replay_rows_);
+  metrics->GetGauge("recovery", "wal", "txns_replayed")
+      ->Set(last_replay_txns_);
+  metrics->GetGauge("recovery", "wal", "torn_tails")
+      ->Set(wal_->torn_tails_seen());
+  metrics->GetGauge("recovery", "wal", "corrupt_tails")
+      ->Set(wal_->corrupt_tails_seen());
+  const FaultInjector::Totals faults = FaultInjector::Instance().totals();
+  metrics->GetGauge("recovery", "faults", "hits")->Set(faults.hits);
+  metrics->GetGauge("recovery", "faults", "fires")->Set(faults.fires);
+  metrics->GetGauge("recovery", "faults", "crashes")->Set(faults.crashes);
   stats.metrics = metrics->Snapshot();
   return stats;
 }
@@ -591,6 +609,67 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
   RETURN_IF_ERROR(runtime_.SetParallelism(static_cast<int>(stmt.value)));
   QueryResult result;
   result.message = "SET PARALLELISM " + std::to_string(stmt.value);
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteSetFault(const sql::SetFaultStmt& stmt) {
+  FaultInjector& injector = FaultInjector::Instance();
+  QueryResult result;
+  if (stmt.reset_all) {
+    injector.Reset();
+    result.message = "SET FAULT RESET";
+    return result;
+  }
+  FaultPolicy policy;
+  switch (stmt.policy) {
+    case sql::SetFaultStmt::Policy::kOff:
+      policy = FaultPolicy::Off();
+      break;
+    case sql::SetFaultStmt::Policy::kFailOnce:
+      policy = FaultPolicy::FailOnce();
+      break;
+    case sql::SetFaultStmt::Policy::kFailNth:
+      if (stmt.nth < 1) {
+        return Status::InvalidArgument("FAIL NTH count must be >= 1");
+      }
+      policy = FaultPolicy::FailNth(stmt.nth);
+      break;
+    case sql::SetFaultStmt::Policy::kProbability:
+      if (stmt.probability < 0.0 || stmt.probability > 1.0) {
+        return Status::InvalidArgument("PROBABILITY must be in [0, 1]");
+      }
+      policy = FaultPolicy::Probability(stmt.probability,
+                                        static_cast<uint64_t>(stmt.seed));
+      break;
+    case sql::SetFaultStmt::Policy::kCrash:
+      if (stmt.nth < 1) {
+        return Status::InvalidArgument("CRASH NTH count must be >= 1");
+      }
+      policy = FaultPolicy::CrashAtHit(stmt.nth);
+      break;
+  }
+  if (policy.kind == FaultPolicy::Kind::kOff) {
+    injector.Disarm(stmt.point);
+  } else {
+    injector.Arm(stmt.point, policy);
+  }
+  result.message = "SET FAULT '" + stmt.point + "' " + policy.ToString();
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteShowFaults(const sql::ShowFaultsStmt&) {
+  QueryResult result;
+  result.schema = Schema({Column("point", DataType::kString),
+                          Column("policy", DataType::kString),
+                          Column("hits", DataType::kInt64),
+                          Column("fires", DataType::kInt64)});
+  for (const FaultInjector::PointInfo& info :
+       FaultInjector::Instance().Snapshot()) {
+    result.rows.push_back(
+        Row{Value::String(info.point), Value::String(info.policy),
+            Value::Int64(info.hits), Value::Int64(info.fires)});
+  }
+  result.message = "SHOW FAULTS " + std::to_string(result.rows.size());
   return result;
 }
 
@@ -928,7 +1007,12 @@ Status Database::AdvanceTime(const std::string& stream, int64_t watermark) {
 
 Result<stream::WalReplayResult> Database::RecoverFromWal() {
   std::lock_guard<std::recursive_mutex> lock(engine_mu_);
-  return stream::ReplayWal(&catalog_, &txns_, *wal_);
+  ASSIGN_OR_RETURN(stream::WalReplayResult replay,
+                   stream::ReplayWal(&catalog_, &txns_, *wal_));
+  ++recoveries_;
+  last_replay_rows_ = replay.rows_inserted + replay.rows_deleted;
+  last_replay_txns_ = replay.transactions_committed;
+  return replay;
 }
 
 }  // namespace streamrel::engine

@@ -138,6 +138,8 @@ class Database {
   Result<QueryResult> ExecuteTransaction(const sql::TransactionStmt& stmt);
   Result<QueryResult> ExecuteShowStats(const sql::ShowStatsStmt& stmt);
   Result<QueryResult> ExecuteSet(const sql::SetStmt& stmt);
+  Result<QueryResult> ExecuteSetFault(const sql::SetFaultStmt& stmt);
+  Result<QueryResult> ExecuteShowFaults(const sql::ShowFaultsStmt& stmt);
 
   /// The write transaction for a DML statement: the open explicit
   /// transaction if any (already WAL-logged), else a fresh autocommit one
@@ -172,6 +174,10 @@ class Database {
   stream::StreamRuntime runtime_;
   int64_t now_micros_ = 0;
   std::optional<storage::TxnId> active_txn_;
+  // Recovery counters surfaced under the `recovery` scope in SHOW STATS.
+  int64_t recoveries_ = 0;
+  int64_t last_replay_rows_ = 0;
+  int64_t last_replay_txns_ = 0;
 };
 
 }  // namespace streamrel::engine

@@ -183,6 +183,8 @@ enum class StatementKind {
   kTransaction,  // BEGIN / COMMIT / ROLLBACK
   kShowStats,    // SHOW STATS [FOR CQ|STREAM|CHANNEL <name>]
   kSet,          // SET PARALLELISM <n>
+  kSetFault,     // SET FAULT '<point>' <policy> | SET FAULT RESET
+  kShowFaults,   // SHOW FAULTS
 };
 
 struct Statement {
@@ -275,6 +277,29 @@ struct SetStmt : Statement {
   int64_t value = 0;
 
   StatementKind kind() const override { return StatementKind::kSet; }
+};
+
+/// SET FAULT '<point>' FAIL ONCE | FAIL NTH <n> | PROBABILITY <p> [SEED <s>]
+///           | CRASH [NTH <n>] | OFF, and SET FAULT RESET (clear all).
+/// Test-only fault injection: arms a named fault point in the engine's
+/// FaultInjector. Mirrors common::FaultPolicy so the sql layer stays
+/// decoupled from the injector.
+struct SetFaultStmt : Statement {
+  bool reset_all = false;  // SET FAULT RESET
+  std::string point;       // e.g. "wal.sync"
+  enum class Policy { kOff, kFailOnce, kFailNth, kProbability, kCrash };
+  Policy policy = Policy::kOff;
+  int64_t nth = 1;           // kFailNth / kCrash
+  double probability = 0.0;  // kProbability
+  int64_t seed = 0;          // kProbability
+
+  StatementKind kind() const override { return StatementKind::kSetFault; }
+};
+
+/// SHOW FAULTS: every armed (or previously hit) fault point with its
+/// policy and hit/fire counters, as ordinary rows.
+struct ShowFaultsStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kShowFaults; }
 };
 
 enum class TransactionOp { kBegin, kCommit, kRollback };

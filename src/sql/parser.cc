@@ -151,6 +151,10 @@ class Parser {
   }
 
   Result<StatementPtr> ParseSet() {
+    if (Peek().IsKeyword("fault")) {
+      Advance();
+      return ParseSetFault();
+    }
     auto stmt = std::make_unique<SetStmt>();
     std::string option;
     ASSIGN_OR_RETURN(option, ExpectIdentifier("option name"));
@@ -166,7 +170,69 @@ class Parser {
     return StatementPtr(std::move(stmt));
   }
 
+  /// SET FAULT RESET
+  /// SET FAULT '<point>' FAIL ONCE | FAIL NTH <n>
+  ///                     | PROBABILITY <p> [SEED <s>] | CRASH [NTH <n>] | OFF
+  Result<StatementPtr> ParseSetFault() {
+    auto stmt = std::make_unique<SetFaultStmt>();
+    if (MatchKeyword("reset")) {
+      stmt->reset_all = true;
+      return StatementPtr(std::move(stmt));
+    }
+    if (Peek().type != TokenType::kString) {
+      return Result<StatementPtr>(
+          Error("expected fault point string (e.g. 'wal.sync') or RESET"));
+    }
+    stmt->point = Advance().text;
+    if (MatchKeyword("off")) {
+      stmt->policy = SetFaultStmt::Policy::kOff;
+    } else if (MatchKeyword("fail")) {
+      if (MatchKeyword("once")) {
+        stmt->policy = SetFaultStmt::Policy::kFailOnce;
+      } else if (MatchKeyword("nth")) {
+        stmt->policy = SetFaultStmt::Policy::kFailNth;
+        if (Peek().type != TokenType::kInteger) {
+          return Result<StatementPtr>(Error("expected hit count after NTH"));
+        }
+        stmt->nth = Advance().int_value;
+      } else {
+        return Result<StatementPtr>(Error("expected ONCE or NTH after FAIL"));
+      }
+    } else if (MatchKeyword("probability")) {
+      stmt->policy = SetFaultStmt::Policy::kProbability;
+      if (Peek().type == TokenType::kFloat) {
+        stmt->probability = Advance().float_value;
+      } else if (Peek().type == TokenType::kInteger) {
+        stmt->probability = static_cast<double>(Advance().int_value);
+      } else {
+        return Result<StatementPtr>(
+            Error("expected probability value in [0, 1]"));
+      }
+      if (MatchKeyword("seed")) {
+        if (Peek().type != TokenType::kInteger) {
+          return Result<StatementPtr>(Error("expected integer seed"));
+        }
+        stmt->seed = Advance().int_value;
+      }
+    } else if (MatchKeyword("crash")) {
+      stmt->policy = SetFaultStmt::Policy::kCrash;
+      if (MatchKeyword("nth")) {
+        if (Peek().type != TokenType::kInteger) {
+          return Result<StatementPtr>(Error("expected hit count after NTH"));
+        }
+        stmt->nth = Advance().int_value;
+      }
+    } else {
+      return Result<StatementPtr>(
+          Error("expected FAIL, PROBABILITY, CRASH, or OFF"));
+    }
+    return StatementPtr(std::move(stmt));
+  }
+
   Result<StatementPtr> ParseShowStats() {
+    if (MatchKeyword("faults")) {
+      return StatementPtr(std::make_unique<ShowFaultsStmt>());
+    }
     RETURN_IF_ERROR(ExpectKeyword("stats"));
     auto stmt = std::make_unique<ShowStatsStmt>();
     if (MatchKeyword("for")) {

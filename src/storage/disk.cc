@@ -1,5 +1,7 @@
 #include "storage/disk.h"
 
+#include "common/fault_injector.h"
+
 namespace streamrel::storage {
 
 SimulatedDisk::SimulatedDisk(DiskModel model) : model_(model) {}
@@ -21,6 +23,7 @@ int64_t SimulatedDisk::WriteCost(int64_t bytes) const {
 }
 
 Status SimulatedDisk::WritePage(PageId page, std::string data) {
+  RETURN_IF_ERROR(FaultInjector::Instance().Hit("disk.write"));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = pages_.find(page);
   if (it == pages_.end()) {

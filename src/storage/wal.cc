@@ -1,6 +1,9 @@
 #include "storage/wal.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "common/fault_injector.h"
 
 namespace streamrel::storage {
 
@@ -10,6 +13,22 @@ WriteAheadLog::WriteAheadLog(std::shared_ptr<SimulatedDisk> disk,
 
 namespace {
 
+// Frame layout: u32 payload length, u32 FNV-1a checksum of the payload,
+// then the payload (one encoded record).
+constexpr size_t kFrameHeaderBytes = 2 * sizeof(uint32_t);
+
+uint32_t Fnv1a(const char* data, size_t n) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
 void PutU64(uint64_t v, std::string* out) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -79,50 +98,129 @@ Result<WalRecord> WriteAheadLog::Decode(const std::string& data,
 }
 
 Status WriteAheadLog::Append(const WalRecord& record) {
+  RETURN_IF_ERROR(FaultInjector::Instance().Hit("wal.append"));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (inject_append_failures_ > 0) {
-      --inject_append_failures_;
-      return Status::IoError("injected WAL append failure");
-    }
-    Encode(record, &log_);
+    // A recovering system truncates any damaged tail before it writes.
+    tail_damage_.clear();
+    std::string payload;
+    Encode(record, &payload);
+    PutU32(static_cast<uint32_t>(payload.size()), &log_);
+    PutU32(Fnv1a(payload.data(), payload.size()), &log_);
+    log_.append(payload);
     ++record_count_;
   }
-  if (sync_every_append_) Sync();
+  if (sync_every_append_) return Sync();
   return Status::OK();
 }
 
-void WriteAheadLog::Sync() {
+Status WriteAheadLog::Sync() {
+  RETURN_IF_ERROR(FaultInjector::Instance().Hit("wal.sync"));
   std::lock_guard<std::mutex> lock(mu_);
   int64_t pending = static_cast<int64_t>(log_.size()) - synced_bytes_;
-  if (pending <= 0) return;
+  if (pending <= 0) return Status::OK();
   // An fsync is a device round trip: positioning plus the pending bytes.
   // Group commit amortizes the positioning cost across a whole
   // transaction (or window) of appends.
   disk_->ChargeFlush(pending);
   synced_bytes_ = static_cast<int64_t>(log_.size());
+  synced_records_ = record_count_;
+  return Status::OK();
+}
+
+void WriteAheadLog::SimulateCrash(CrashMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string unsynced = log_.substr(static_cast<size_t>(synced_bytes_));
+  log_.resize(static_cast<size_t>(synced_bytes_));
+  record_count_ = synced_records_;
+  tail_damage_.clear();
+  if (mode == CrashMode::kClean || unsynced.empty()) return;
+
+  // The device got a prefix of the first unsynced frame onto the platter
+  // before power cut out.
+  size_t frame_total = unsynced.size();
+  if (unsynced.size() >= sizeof(uint32_t)) {
+    uint32_t len;
+    memcpy(&len, unsynced.data(), sizeof(len));
+    const size_t whole = kFrameHeaderBytes + len;
+    if (mode == CrashMode::kCorruptTail && len > 0 &&
+        unsynced.size() >= whole) {
+      // Whole frame made it, but a payload byte was scrambled in flight.
+      tail_damage_ = unsynced.substr(0, whole);
+      tail_damage_[kFrameHeaderBytes] =
+          static_cast<char>(tail_damage_[kFrameHeaderBytes] ^ 0x5a);
+      return;
+    }
+    frame_total = std::min(unsynced.size(), whole);
+  }
+  // Torn write (or a corrupt-tail request when not even one whole frame
+  // survived): keep all but the last byte of what the device received.
+  tail_damage_ = unsynced.substr(0, frame_total - 1);
 }
 
 Status WriteAheadLog::Replay(
-    const std::function<Status(const WalRecord&)>& callback) const {
+    const std::function<Status(const WalRecord&)>& callback,
+    WalReplayStats* stats) const {
   std::string snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    snapshot = log_;
+    snapshot = log_ + tail_damage_;
   }
   disk_->ChargeSequentialRead(static_cast<int64_t>(snapshot.size()));
+  WalReplayStats local;
   size_t offset = 0;
   while (offset < snapshot.size()) {
-    ASSIGN_OR_RETURN(WalRecord record, Decode(snapshot, &offset));
+    if (offset + kFrameHeaderBytes > snapshot.size()) {
+      local.stopped_at_torn_tail = true;  // header itself is torn
+      break;
+    }
+    uint32_t len, checksum;
+    memcpy(&len, snapshot.data() + offset, sizeof(len));
+    memcpy(&checksum, snapshot.data() + offset + sizeof(len),
+           sizeof(checksum));
+    const size_t payload_at = offset + kFrameHeaderBytes;
+    if (payload_at + len > snapshot.size()) {
+      local.stopped_at_torn_tail = true;  // frame extends past end-of-log
+      break;
+    }
+    if (Fnv1a(snapshot.data() + payload_at, len) != checksum) {
+      if (payload_at + len == snapshot.size()) {
+        local.stopped_at_corrupt_tail = true;  // last frame, bad bytes
+        break;
+      }
+      // A bad checksum with intact frames after it is not a crash
+      // artifact — the log is genuinely damaged mid-stream.
+      return Status::IoError("WAL checksum mismatch at offset " +
+                             std::to_string(offset) +
+                             " (not at tail); log is corrupt");
+    }
+    const std::string payload = snapshot.substr(payload_at, len);
+    size_t consumed = 0;
+    ASSIGN_OR_RETURN(WalRecord record, Decode(payload, &consumed));
+    if (consumed != payload.size()) {
+      return Status::IoError("WAL record at offset " +
+                             std::to_string(offset) +
+                             " has trailing garbage inside its frame");
+    }
+    offset = payload_at + len;
+    ++local.records;
     RETURN_IF_ERROR(callback(record));
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (local.stopped_at_torn_tail) ++torn_tails_seen_;
+    if (local.stopped_at_corrupt_tail) ++corrupt_tails_seen_;
+  }
+  if (stats != nullptr) *stats = local;
   return Status::OK();
 }
 
 void WriteAheadLog::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   log_.clear();
+  tail_damage_.clear();
   synced_bytes_ = 0;
+  synced_records_ = 0;
   record_count_ = 0;
 }
 
@@ -131,14 +229,19 @@ int64_t WriteAheadLog::record_count() const {
   return record_count_;
 }
 
-void WriteAheadLog::InjectAppendFailures(int64_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
-  inject_append_failures_ = count;
-}
-
 int64_t WriteAheadLog::byte_size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(log_.size());
+  return static_cast<int64_t>(log_.size() + tail_damage_.size());
+}
+
+int64_t WriteAheadLog::torn_tails_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return torn_tails_seen_;
+}
+
+int64_t WriteAheadLog::corrupt_tails_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_tails_seen_;
 }
 
 }  // namespace streamrel::storage

@@ -32,14 +32,39 @@ struct WalRecord {
   std::string object_name;  // table or channel name
   Row row;                  // kInsert
   int64_t int_payload = 0;  // kDelete row id / kChannelProgress watermark /
-                            // kCommit commit-time
+                            // kCommit commit-time / kCheckpoint coverage
   std::string blob;         // kCheckpoint state
+};
+
+/// How a simulated crash leaves the end of the durable log.
+enum class CrashMode {
+  kClean,       // unsynced tail cut exactly at the last synced frame
+  kTornTail,    // the first unsynced frame survives partially (torn write)
+  kCorruptTail  // the first unsynced frame survives whole but bit-flipped
+};
+
+/// What a Replay pass observed about the log's tail.
+struct WalReplayStats {
+  int64_t records = 0;
+  bool stopped_at_torn_tail = false;
+  bool stopped_at_corrupt_tail = false;
 };
 
 /// Append-only write-ahead log. Records are buffered and charged to the
 /// simulated disk as sequential writes on Sync(); a group-commit interval
 /// is modeled by syncing once per Append when `sync_every_append` is set
 /// (the expensive store-first configuration) or explicitly by the caller.
+///
+/// Crash model: the durable image is the *synced prefix* only. Each record
+/// is framed with its length and an FNV-1a checksum; SimulateCrash()
+/// discards everything unsynced (optionally leaving a torn or corrupt
+/// final frame, as a real device would after a mid-write power cut), and
+/// Replay treats a damaged frame at the tail as end-of-log rather than a
+/// recovery failure. Damage anywhere BEFORE the tail is real corruption
+/// and still fails replay.
+///
+/// Fault points: `wal.append` (before anything is buffered) and
+/// `wal.sync` (before anything is charged or marked durable).
 ///
 /// Thread-safe.
 class WriteAheadLog {
@@ -50,12 +75,24 @@ class WriteAheadLog {
   Status Append(const WalRecord& record);
 
   /// Charges any unsynced bytes to the disk model (one positioning cost +
-  /// bandwidth), i.e. an fsync.
-  void Sync();
+  /// bandwidth), i.e. an fsync. Everything appended so far becomes part of
+  /// the durable image. Fails without advancing durability when the
+  /// `wal.sync` fault point fires.
+  Status Sync();
 
-  /// Replays all records in append order.
-  Status Replay(
-      const std::function<Status(const WalRecord&)>& callback) const;
+  /// Replays all durable records in append order. A torn or
+  /// checksum-mismatched frame at the very end of the log ends the replay
+  /// cleanly (stats/counters record it); damage before the tail returns
+  /// kIoError.
+  Status Replay(const std::function<Status(const WalRecord&)>& callback,
+                WalReplayStats* stats = nullptr) const;
+
+  /// Simulates a process/machine crash: the unsynced tail is discarded
+  /// (it never reached the device). kTornTail keeps a prefix of the first
+  /// unsynced frame; kCorruptTail keeps the whole frame with a flipped
+  /// payload byte. The next Append overwrites any such damaged tail, as a
+  /// recovering system truncates it before writing.
+  void SimulateCrash(CrashMode mode = CrashMode::kClean);
 
   /// Truncates the log (after a full checkpoint).
   void Reset();
@@ -63,9 +100,10 @@ class WriteAheadLog {
   int64_t record_count() const;
   int64_t byte_size() const;
 
-  /// Test hook: makes the next `count` Append calls fail with kIoError
-  /// without logging anything, simulating a device that rejects writes.
-  void InjectAppendFailures(int64_t count);
+  /// Cumulative count of replays that ended at a torn / corrupt tail
+  /// (surfaced under the `recovery` scope in SHOW STATS).
+  int64_t torn_tails_seen() const;
+  int64_t corrupt_tails_seen() const;
 
  private:
   static void Encode(const WalRecord& record, std::string* out);
@@ -74,10 +112,13 @@ class WriteAheadLog {
   std::shared_ptr<SimulatedDisk> disk_;
   const bool sync_every_append_;
   mutable std::mutex mu_;
-  std::string log_;          // the durable image
-  int64_t synced_bytes_ = 0;  // prefix of log_ already charged
+  std::string log_;            // intact frames, in append order
+  std::string tail_damage_;    // torn/corrupt bytes a crash left at the end
+  int64_t synced_bytes_ = 0;   // prefix of log_ already charged
+  int64_t synced_records_ = 0;
   int64_t record_count_ = 0;
-  int64_t inject_append_failures_ = 0;
+  mutable int64_t torn_tails_seen_ = 0;
+  mutable int64_t corrupt_tails_seen_ = 0;
 };
 
 }  // namespace streamrel::storage

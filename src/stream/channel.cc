@@ -1,5 +1,7 @@
 #include "stream/channel.h"
 
+#include "common/fault_injector.h"
+
 namespace streamrel::stream {
 
 Status InsertIntoTable(catalog::TableInfo* table, const Row& row,
@@ -108,7 +110,7 @@ Result<int64_t> VacuumTable(catalog::TableInfo* table,
     record.object_name = table->name;
     record.int_payload = commit_time;
     RETURN_IF_ERROR(wal->Append(record));
-    wal->Sync();
+    RETURN_IF_ERROR(wal->Sync());
   }
   return reclaimed;
 }
@@ -133,6 +135,7 @@ Status Channel::OnRawRows(int64_t at, const std::vector<Row>& rows) {
 
 Status Channel::OnBatch(int64_t close, const std::vector<Row>& rows) {
   if (close <= watermark_) return Status::OK();  // already persisted
+  RETURN_IF_ERROR(FaultInjector::Instance().Hit("channel.sink"));
 
   storage::TxnId txn = txns_->Begin();
   storage::WalRecord begin;
@@ -171,7 +174,10 @@ Status Channel::OnBatch(int64_t close, const std::vector<Row>& rows) {
   commit.txn_id = txn;
   commit.int_payload = close;  // commit time = window close
   RETURN_IF_ERROR(wal_->Append(commit));
-  wal_->Sync();
+  // The batch is committed only once its commit record is durable; a
+  // failed sync leaves the transaction uncommitted and the watermark
+  // unchanged, so the group is redelivered rather than half-applied.
+  RETURN_IF_ERROR(wal_->Sync());
 
   // Window consistency: the batch becomes visible exactly at the window
   // boundary it belongs to.

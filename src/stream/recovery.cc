@@ -1,7 +1,11 @@
 #include "stream/recovery.h"
 
+#include <set>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/fault_injector.h"
 #include "common/string_util.h"
 #include "stream/channel.h"
 
@@ -12,6 +16,12 @@ Result<WalReplayResult> ReplayWal(catalog::Catalog* catalog,
                                   const storage::WriteAheadLog& wal) {
   WalReplayResult result;
   std::unordered_map<uint64_t, storage::TxnId> txn_map;
+  // Channel progress is transactional: it takes effect only when its
+  // transaction's commit record is reached. Applying it eagerly would let
+  // a batch that failed mid-persist advance the recovered watermark and
+  // silently lose its window.
+  std::unordered_map<uint64_t, std::vector<std::pair<std::string, int64_t>>>
+      pending_progress;
 
   auto mapped_txn = [&](uint64_t old_id) {
     auto it = txn_map.find(old_id);
@@ -21,77 +31,95 @@ Result<WalReplayResult> ReplayWal(catalog::Catalog* catalog,
     return fresh;
   };
 
-  Status status = wal.Replay([&](const storage::WalRecord& record) -> Status {
-    switch (record.type) {
-      case storage::WalRecordType::kBegin: {
-        mapped_txn(record.txn_id);
-        return Status::OK();
-      }
-      case storage::WalRecordType::kInsert: {
-        catalog::TableInfo* table = catalog->GetTable(record.object_name);
-        if (table == nullptr) {
-          return Status::NotFound("WAL insert into unknown table '" +
-                                  record.object_name + "'");
+  storage::WalReplayStats wal_stats;
+  Status status = wal.Replay(
+      [&](const storage::WalRecord& record) -> Status {
+        switch (record.type) {
+          case storage::WalRecordType::kBegin: {
+            mapped_txn(record.txn_id);
+            return Status::OK();
+          }
+          case storage::WalRecordType::kInsert: {
+            catalog::TableInfo* table = catalog->GetTable(record.object_name);
+            if (table == nullptr) {
+              return Status::NotFound("WAL insert into unknown table '" +
+                                      record.object_name + "'");
+            }
+            RETURN_IF_ERROR(InsertIntoTable(table, record.row,
+                                            mapped_txn(record.txn_id),
+                                            /*wal=*/nullptr));
+            ++result.rows_inserted;
+            return Status::OK();
+          }
+          case storage::WalRecordType::kDelete: {
+            catalog::TableInfo* table = catalog->GetTable(record.object_name);
+            if (table == nullptr) {
+              return Status::NotFound("WAL delete in unknown table '" +
+                                      record.object_name + "'");
+            }
+            auto row_id = static_cast<storage::RowId>(record.int_payload);
+            ASSIGN_OR_RETURN(Row row, table->heap->GetRow(row_id));
+            RETURN_IF_ERROR(DeleteFromTable(table, row_id, row,
+                                            mapped_txn(record.txn_id),
+                                            /*wal=*/nullptr));
+            ++result.rows_deleted;
+            return Status::OK();
+          }
+          case storage::WalRecordType::kCommit: {
+            RETURN_IF_ERROR(txns->Commit(mapped_txn(record.txn_id),
+                                         record.int_payload)
+                                .status());
+            auto pending = pending_progress.find(record.txn_id);
+            if (pending != pending_progress.end()) {
+              // Progress records appear in log order, so the last
+              // committed one wins.
+              for (const auto& [channel, watermark] : pending->second) {
+                result.channel_watermarks[channel] = watermark;
+              }
+              pending_progress.erase(pending);
+            }
+            ++result.transactions_committed;
+            return Status::OK();
+          }
+          case storage::WalRecordType::kAbort: {
+            pending_progress.erase(record.txn_id);
+            return txns->Abort(mapped_txn(record.txn_id));
+          }
+          case storage::WalRecordType::kChannelProgress: {
+            pending_progress[record.txn_id].emplace_back(
+                ToLower(record.object_name), record.int_payload);
+            return Status::OK();
+          }
+          case storage::WalRecordType::kCheckpoint: {
+            CheckpointEntry& entry =
+                result.latest_checkpoints[ToLower(record.object_name)];
+            entry.blob = record.blob;
+            entry.coverage = record.int_payload;
+            return Status::OK();
+          }
+          case storage::WalRecordType::kVacuum: {
+            catalog::TableInfo* table = catalog->GetTable(record.object_name);
+            if (table == nullptr) {
+              return Status::NotFound("WAL vacuum of unknown table '" +
+                                      record.object_name + "'");
+            }
+            // Replaying the compaction reproduces the post-vacuum RowIds,
+            // so later logged deletes keep targeting the right rows.
+            return VacuumTable(table, txns, /*wal=*/nullptr,
+                               record.int_payload)
+                .status();
+          }
         }
-        RETURN_IF_ERROR(InsertIntoTable(table, record.row,
-                                        mapped_txn(record.txn_id),
-                                        /*wal=*/nullptr));
-        ++result.rows_inserted;
-        return Status::OK();
-      }
-      case storage::WalRecordType::kDelete: {
-        catalog::TableInfo* table = catalog->GetTable(record.object_name);
-        if (table == nullptr) {
-          return Status::NotFound("WAL delete in unknown table '" +
-                                  record.object_name + "'");
-        }
-        auto row_id = static_cast<storage::RowId>(record.int_payload);
-        ASSIGN_OR_RETURN(Row row, table->heap->GetRow(row_id));
-        RETURN_IF_ERROR(DeleteFromTable(table, row_id, row,
-                                        mapped_txn(record.txn_id),
-                                        /*wal=*/nullptr));
-        ++result.rows_deleted;
-        return Status::OK();
-      }
-      case storage::WalRecordType::kCommit: {
-        RETURN_IF_ERROR(txns->Commit(mapped_txn(record.txn_id),
-                                     record.int_payload)
-                            .status());
-        ++result.transactions_committed;
-        return Status::OK();
-      }
-      case storage::WalRecordType::kAbort: {
-        return txns->Abort(mapped_txn(record.txn_id));
-      }
-      case storage::WalRecordType::kChannelProgress: {
-        // Progress records appear in log order, so the last one wins.
-        result.channel_watermarks[ToLower(record.object_name)] =
-            record.int_payload;
-        return Status::OK();
-      }
-      case storage::WalRecordType::kCheckpoint: {
-        result.latest_checkpoints[ToLower(record.object_name)] = record.blob;
-        return Status::OK();
-      }
-      case storage::WalRecordType::kVacuum: {
-        catalog::TableInfo* table = catalog->GetTable(record.object_name);
-        if (table == nullptr) {
-          return Status::NotFound("WAL vacuum of unknown table '" +
-                                  record.object_name + "'");
-        }
-        // Replaying the compaction reproduces the post-vacuum RowIds, so
-        // later logged deletes keep targeting the right rows.
-        return VacuumTable(table, txns, /*wal=*/nullptr,
-                           record.int_payload)
-            .status();
-      }
-    }
-    return Status::IoError("unknown WAL record type");
-  });
+        return Status::IoError("unknown WAL record type");
+      },
+      &wal_stats);
   RETURN_IF_ERROR(status);
+  result.stopped_at_torn_tail = wal_stats.stopped_at_torn_tail;
+  result.stopped_at_corrupt_tail = wal_stats.stopped_at_corrupt_tail;
 
   // Any transaction still open at end-of-log crashed mid-flight: abort it so
-  // its rows stay permanently invisible.
+  // its rows stay permanently invisible (its channel progress, if any, was
+  // never applied either).
   for (const auto& [old_id, fresh] : txn_map) {
     if (!txns->IsCommitted(fresh) && !txns->IsAborted(fresh)) {
       RETURN_IF_ERROR(txns->Abort(fresh));
@@ -120,26 +148,55 @@ Status ResumeFromActiveTables(StreamRuntime* runtime,
 }
 
 Status CheckpointManager::WriteCheckpoint() {
+  RETURN_IF_ERROR(FaultInjector::Instance().Hit("checkpoint.write"));
   for (const std::string& name : runtime_->CqNames()) {
+    ContinuousQuery* cq = runtime_->GetCq(name);
+    if (cq == nullptr || cq->is_shared()) {
+      // Shared-strategy CQs keep their data in the slice aggregator; the
+      // window operator holds only a close schedule, so a blob would
+      // restore to an empty window. They recover the active-table way.
+      continue;
+    }
     ASSIGN_OR_RETURN(std::string blob, runtime_->SerializeCqState(name));
     storage::WalRecord record;
     record.type = storage::WalRecordType::kCheckpoint;
     record.object_name = name;
+    record.int_payload = runtime_->watermark(cq->stream_name());
     record.blob = std::move(blob);
     bytes_written_ += static_cast<int64_t>(record.blob.size());
     RETURN_IF_ERROR(wal_->Append(record));
   }
-  wal_->Sync();
+  RETURN_IF_ERROR(wal_->Sync());
   ++checkpoints_written_;
   return Status::OK();
 }
 
 Status CheckpointManager::RestoreFromCheckpoints(
     const WalReplayResult& replay) {
-  for (const auto& [name, blob] : replay.latest_checkpoints) {
-    Status status = runtime_->RestoreCqState(name, blob);
+  std::set<std::string> restored;
+  for (const auto& [name, entry] : replay.latest_checkpoints) {
+    Status status = runtime_->RestoreCqState(name, entry.blob);
     if (status.code() == StatusCode::kNotFound) continue;  // CQ not recreated
     RETURN_IF_ERROR(status);
+    restored.insert(name);
+  }
+  // Channels resume from their durable watermarks. A restored CQ keeps
+  // its buffered rows — only delivery of already-persisted windows is
+  // suppressed; anything else is reset as in ResumeFromActiveTables.
+  for (const auto& [channel_name, watermark] : replay.channel_watermarks) {
+    Channel* channel = runtime_->GetChannel(channel_name);
+    if (channel == nullptr) continue;
+    channel->SetWatermark(watermark);
+    const std::string& source = channel->info().from_stream;
+    const catalog::StreamInfo* stream =
+        runtime_->catalog()->GetStream(source);
+    if (stream == nullptr || !stream->is_derived) continue;
+    const std::string cq_name = "$derived$" + ToLower(source);
+    if (restored.count(cq_name)) {
+      RETURN_IF_ERROR(runtime_->SetCqEmitWatermark(cq_name, watermark));
+    } else {
+      RETURN_IF_ERROR(runtime_->ResetCqToWatermark(cq_name, watermark));
+    }
   }
   return Status::OK();
 }

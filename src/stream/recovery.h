@@ -12,15 +12,31 @@
 
 namespace streamrel::stream {
 
+/// The newest durable operator-state snapshot for one CQ.
+struct CheckpointEntry {
+  std::string blob;
+  /// Source-stream watermark at checkpoint time: every row with a
+  /// timestamp at or before this is already folded into the blob, so a
+  /// re-feed after restore may start strictly past it.
+  int64_t coverage = INT64_MIN;
+};
+
 /// What WAL replay reconstructed.
 struct WalReplayResult {
   int64_t rows_inserted = 0;
   int64_t rows_deleted = 0;
   int64_t transactions_committed = 0;
-  /// Last persisted window close per channel (lowercased name).
+  /// Last persisted window close per channel (lowercased name). Only
+  /// progress records whose transaction committed count: a batch that
+  /// failed mid-persist must not advance the recovered watermark, or its
+  /// window would be lost forever.
   std::map<std::string, int64_t> channel_watermarks;
   /// Latest operator-state checkpoint per CQ (checkpoint strategy only).
-  std::map<std::string, std::string> latest_checkpoints;
+  std::map<std::string, CheckpointEntry> latest_checkpoints;
+  /// True when replay ended at a crash-damaged final record (clean stop,
+  /// not an error — the synced prefix before it is intact).
+  bool stopped_at_torn_tail = false;
+  bool stopped_at_corrupt_tail = false;
 };
 
 /// Replays the WAL into freshly-created tables: inserts and deletes are
@@ -44,18 +60,31 @@ Result<WalReplayResult> ReplayWal(catalog::Catalog* catalog,
 Status ResumeFromActiveTables(StreamRuntime* runtime,
                               const WalReplayResult& replay);
 
-/// The conventional alternative: periodically serialize every CQ's window
-/// operator state into the WAL, paying steady-state I/O; on restart,
-/// restore the blobs. Benchmarked against ResumeFromActiveTables in T5.
+/// The conventional alternative: periodically serialize every generic
+/// CQ's window operator state into the WAL, paying steady-state I/O; on
+/// restart, restore the blobs. Shared-strategy CQs keep their data in the
+/// slice aggregator, which has no serializable operator state — they are
+/// skipped at checkpoint time and recovered the active-table way instead
+/// (RestoreFromCheckpoints falls back per CQ). Benchmarked against
+/// ResumeFromActiveTables in T5.
 class CheckpointManager {
  public:
   CheckpointManager(StreamRuntime* runtime, storage::WriteAheadLog* wal)
       : runtime_(runtime), wal_(wal) {}
 
-  /// Snapshots every CQ's operator state into the WAL.
+  /// Snapshots every generic CQ's operator state into the WAL, stamped
+  /// with the source stream's watermark (the blob's coverage). Fault
+  /// point: `checkpoint.write`.
   Status WriteCheckpoint();
 
-  /// Restores CQ state from the latest checkpoint blobs.
+  /// Restores CQ state from the latest checkpoint blobs, then resumes
+  /// channels from their replayed watermarks: a CQ whose blob was
+  /// restored keeps its buffered rows and only suppresses re-delivery of
+  /// already-persisted windows; a CQ without a blob (shared strategy, or
+  /// never checkpointed) is reset to the watermark as in
+  /// ResumeFromActiveTables. A complete recovery strategy by itself — do
+  /// NOT also call ResumeFromActiveTables, which would drop restored
+  /// state.
   Status RestoreFromCheckpoints(const WalReplayResult& replay);
 
   int64_t checkpoints_written() const { return checkpoints_written_; }

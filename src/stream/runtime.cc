@@ -1,5 +1,6 @@
 #include "stream/runtime.h"
 
+#include "common/fault_injector.h"
 #include "common/string_util.h"
 #include "exec/operators.h"
 
@@ -384,18 +385,20 @@ Status StreamRuntime::IngestParallel(StreamState* state,
   const size_t nworkers = workers_.size();
   std::vector<std::vector<ShardRow>> pending(nworkers);
 
-  auto flush = [&]() {
+  auto flush = [&]() -> Status {
     for (size_t w = 0; w < nworkers; ++w) {
       if (pending[w].empty()) continue;
+      RETURN_IF_ERROR(FaultInjector::Instance().Hit("shard.enqueue"));
       workers_[w]->Push(ShardChunk{pipelines, std::move(pending[w])});
       pending[w].clear();
     }
+    return Status::OK();
   };
   // Drains every worker and surfaces the first shard-side error. Run
   // before evaluating window closes (merges must see complete partials)
   // and before returning (callers may inspect state right after Ingest).
   auto barrier = [&]() -> Status {
-    flush();
+    RETURN_IF_ERROR(flush());
     for (auto& w : workers_) w->WaitIdle();
     for (auto& w : workers_) RETURN_IF_ERROR(w->TakeError());
     return Status::OK();
@@ -470,6 +473,8 @@ Status StreamRuntime::IngestParallel(StreamState* state,
       }
       pending[target].push_back(ShardRow{ts, seq, stamped});
       if (pending[target].size() >= kShardChunkRows) {
+        Status st = FaultInjector::Instance().Hit("shard.enqueue");
+        if (!st.ok()) return fail(std::move(st));
         workers_[target]->Push(
             ShardChunk{pipelines, std::move(pending[target])});
         pending[target].clear();
@@ -635,6 +640,12 @@ Result<std::string> StreamRuntime::SerializeCqState(
   for (const auto& [key, state] : streams_) {
     for (const Subscription& sub : state.subs) {
       if (EqualsIgnoreCase(sub.cq->name(), name)) {
+        if (!sub.feed_rows) {
+          return Status::NotImplemented(
+              "shared-strategy CQ '" + name +
+              "' has no serializable operator state; recover it from "
+              "active tables");
+        }
         std::string blob;
         sub.window_op->Serialize(&blob);
         return blob;
@@ -662,6 +673,19 @@ Status StreamRuntime::ResetCqToWatermark(const std::string& name,
     for (Subscription& sub : state.subs) {
       if (EqualsIgnoreCase(sub.cq->name(), name)) {
         sub.window_op->ResetToWatermark(watermark);
+        sub.cq->SetEmitWatermark(watermark);
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("continuous query '" + name + "' not found");
+}
+
+Status StreamRuntime::SetCqEmitWatermark(const std::string& name,
+                                         int64_t watermark) {
+  for (auto& [key, state] : streams_) {
+    for (Subscription& sub : state.subs) {
+      if (EqualsIgnoreCase(sub.cq->name(), name)) {
         sub.cq->SetEmitWatermark(watermark);
         return Status::OK();
       }

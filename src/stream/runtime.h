@@ -110,6 +110,8 @@ class StreamRuntime {
   // --- recovery support ------------------------------------------------------
 
   /// Serializes a generic CQ's window-operator state (checkpoint strategy).
+  /// Shared-strategy CQs return NotImplemented: their data lives in the
+  /// slice aggregator, so a window-operator blob would restore empty.
   Result<std::string> SerializeCqState(const std::string& name) const;
   Status RestoreCqState(const std::string& name, const std::string& blob);
 
@@ -117,6 +119,11 @@ class StreamRuntime {
   /// strategy): buffered state is dropped and windows closing at or before
   /// the watermark are evaluated but not re-delivered.
   Status ResetCqToWatermark(const std::string& name, int64_t watermark);
+
+  /// Suppresses re-delivery at or before `watermark` WITHOUT touching the
+  /// window operator — for CQs whose operator state was just restored from
+  /// a checkpoint blob and must keep its buffered rows.
+  Status SetCqEmitWatermark(const std::string& name, int64_t watermark);
 
   std::vector<std::string> CqNames() const;
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "common/time.h"
 #include "test_util.h"
 
@@ -13,6 +14,8 @@ constexpr int64_t kMin = kMicrosPerMinute;
 
 class ChannelTest : public ::testing::Test {
  protected:
+  ~ChannelTest() override { FaultInjector::Instance().Reset(); }
+
   ChannelTest() {
     MustExecute(&db_,
                 "CREATE STREAM s (url varchar, ts timestamp CQTIME USER)");
@@ -117,7 +120,7 @@ TEST_F(ChannelTest, RawChannelWatermarkRestoredOnFailedBatch) {
   ASSERT_EQ(ch->watermark(), 10 * kSec);
 
   // The next row group fails mid-persist (WAL rejects the write).
-  db_.wal()->InjectAppendFailures(1);
+  FaultInjector::Instance().Arm("wal.append", FaultPolicy::FailOnce());
   EXPECT_FALSE(
       db_.Ingest("s", {Row{Value::String("/b"), Value::Timestamp(10 * kSec)}})
           .ok());

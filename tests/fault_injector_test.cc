@@ -1,0 +1,159 @@
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamrel {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() { FaultInjector::Instance().Reset(); }
+  ~FaultInjectorTest() override { FaultInjector::Instance().Reset(); }
+
+  FaultInjector& injector() { return FaultInjector::Instance(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedPointsPassThrough) {
+  EXPECT_TRUE(injector().Hit("wal.append").ok());
+  EXPECT_TRUE(injector().Hit("no.such.point").ok());
+  // Nothing armed and no counting: hits are not even recorded.
+  EXPECT_EQ(injector().totals().hits, 0);
+}
+
+TEST_F(FaultInjectorTest, FailOnceFiresExactlyOnce) {
+  injector().Arm("wal.sync", FaultPolicy::FailOnce());
+  EXPECT_FALSE(injector().Hit("wal.sync").ok());
+  EXPECT_TRUE(injector().Hit("wal.sync").ok());
+  EXPECT_TRUE(injector().Hit("wal.sync").ok());
+  EXPECT_EQ(injector().totals().fires, 1);
+}
+
+TEST_F(FaultInjectorTest, FailNthCountsFromArming) {
+  injector().Arm("disk.write", FaultPolicy::FailNth(3));
+  EXPECT_TRUE(injector().Hit("disk.write").ok());
+  EXPECT_TRUE(injector().Hit("disk.write").ok());
+  EXPECT_FALSE(injector().Hit("disk.write").ok());
+  // Disarmed after firing.
+  EXPECT_TRUE(injector().Hit("disk.write").ok());
+
+  // Re-arming restarts the count even though the point has prior hits.
+  injector().Arm("disk.write", FaultPolicy::FailNth(2));
+  EXPECT_TRUE(injector().Hit("disk.write").ok());
+  EXPECT_FALSE(injector().Hit("disk.write").ok());
+}
+
+TEST_F(FaultInjectorTest, PointsAreIndependent) {
+  injector().Arm("wal.append", FaultPolicy::FailOnce());
+  EXPECT_TRUE(injector().Hit("wal.sync").ok());
+  EXPECT_FALSE(injector().Hit("wal.append").ok());
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicPerSeed) {
+  auto fire_pattern = [&](uint64_t seed) {
+    injector().Reset();
+    injector().Arm("channel.sink", FaultPolicy::Probability(0.3, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!injector().Hit("channel.sink").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> a = fire_pattern(42);
+  std::vector<bool> b = fire_pattern(42);
+  std::vector<bool> c = fire_pattern(43);
+  EXPECT_EQ(a, b);  // same seed, same pattern
+  EXPECT_NE(a, c);  // different seed, different pattern
+  // p=0.3 over 64 trials: some fire, some don't.
+  int fires = 0;
+  for (bool f : a) fires += f;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityExtremes) {
+  injector().Arm("p0", FaultPolicy::Probability(0.0, 7));
+  injector().Arm("p1", FaultPolicy::Probability(1.0, 7));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(injector().Hit("p0").ok());
+    EXPECT_FALSE(injector().Hit("p1").ok());
+  }
+}
+
+TEST_F(FaultInjectorTest, CrashLatchesEveryPoint) {
+  injector().Arm("wal.sync", FaultPolicy::CrashAtHit(2));
+  EXPECT_TRUE(injector().Hit("wal.sync").ok());
+  Status crash = injector().Hit("wal.sync");
+  EXPECT_FALSE(crash.ok());
+  EXPECT_TRUE(FaultInjector::IsInjectedCrash(crash));
+  EXPECT_TRUE(injector().crashed());
+  // The process is "dead": every later hit at ANY point fails too.
+  EXPECT_TRUE(FaultInjector::IsInjectedCrash(injector().Hit("wal.append")));
+  EXPECT_TRUE(FaultInjector::IsInjectedCrash(injector().Hit("disk.write")));
+  injector().Reset();
+  EXPECT_FALSE(injector().crashed());
+  EXPECT_TRUE(injector().Hit("wal.sync").ok());
+}
+
+TEST_F(FaultInjectorTest, NonCrashFaultIsNotInjectedCrash) {
+  injector().Arm("wal.sync", FaultPolicy::FailOnce());
+  Status fault = injector().Hit("wal.sync");
+  EXPECT_FALSE(fault.ok());
+  EXPECT_FALSE(FaultInjector::IsInjectedCrash(fault));
+}
+
+TEST_F(FaultInjectorTest, GlobalCrashCounterSpansPoints) {
+  injector().ArmCrashAtGlobalHit(3);
+  EXPECT_TRUE(injector().Hit("wal.append").ok());
+  EXPECT_TRUE(injector().Hit("disk.write").ok());
+  Status crash = injector().Hit("channel.sink");
+  EXPECT_TRUE(FaultInjector::IsInjectedCrash(crash));
+  EXPECT_EQ(injector().totals().crashes, 1);
+}
+
+TEST_F(FaultInjectorTest, CountingModeRecordsHitsWithoutFiring) {
+  injector().EnableCounting(true);
+  EXPECT_TRUE(injector().Hit("wal.append").ok());
+  EXPECT_TRUE(injector().Hit("wal.append").ok());
+  EXPECT_TRUE(injector().Hit("wal.sync").ok());
+  FaultInjector::Totals totals = injector().totals();
+  EXPECT_EQ(totals.hits, 3);
+  EXPECT_EQ(totals.fires, 0);
+
+  bool saw_append = false;
+  for (const auto& info : injector().Snapshot()) {
+    if (info.point == "wal.append") {
+      saw_append = true;
+      EXPECT_EQ(info.hits, 2);
+      EXPECT_EQ(info.fires, 0);
+    }
+  }
+  EXPECT_TRUE(saw_append);
+}
+
+TEST_F(FaultInjectorTest, IdenticalHitSequencesAreDeterministic) {
+  // The torture harness depends on this: a counting run and a crash run
+  // over the same workload must agree on hit numbering.
+  auto run = [&](int64_t crash_at) {
+    injector().Reset();
+    injector().ArmCrashAtGlobalHit(crash_at);
+    int failed_at = -1;
+    const char* points[] = {"wal.append", "wal.append", "wal.sync",
+                            "channel.sink", "wal.append", "wal.sync"};
+    for (int i = 0; i < 6; ++i) {
+      if (!injector().Hit(points[i]).ok()) {
+        failed_at = i;
+        break;
+      }
+    }
+    return failed_at;
+  };
+  for (int64_t k = 1; k <= 6; ++k) {
+    EXPECT_EQ(run(k), static_cast<int>(k - 1)) << "k=" << k;
+    EXPECT_EQ(run(k), static_cast<int>(k - 1)) << "k=" << k << " rerun";
+  }
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -131,6 +131,134 @@ TEST_F(WalTest, ReplayCallbackErrorPropagates) {
   EXPECT_EQ(s.code(), StatusCode::kInternal);
 }
 
+TEST_F(WalTest, SimulateCrashDropsUnsyncedTail) {
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  r.txn_id = 1;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  ASSERT_TRUE(wal_->Sync().ok());
+  r.txn_id = 2;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  r.txn_id = 3;
+  ASSERT_TRUE(wal_->Append(r).ok());
+
+  wal_->SimulateCrash(CrashMode::kClean);
+
+  // Only the synced prefix survives.
+  std::vector<uint64_t> txns;
+  WalReplayStats stats;
+  ASSERT_TRUE(wal_->Replay(
+                      [&](const WalRecord& got) {
+                        txns.push_back(got.txn_id);
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_EQ(txns[0], 1u);
+  EXPECT_EQ(wal_->record_count(), 1);
+  EXPECT_FALSE(stats.stopped_at_torn_tail);
+  EXPECT_FALSE(stats.stopped_at_corrupt_tail);
+}
+
+TEST_F(WalTest, TornTailEndsReplayCleanly) {
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  r.txn_id = 1;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  ASSERT_TRUE(wal_->Sync().ok());
+  WalRecord insert;
+  insert.type = WalRecordType::kInsert;
+  insert.txn_id = 2;
+  insert.object_name = "t";
+  insert.row = {Value::String("unsynced")};
+  ASSERT_TRUE(wal_->Append(insert).ok());
+
+  wal_->SimulateCrash(CrashMode::kTornTail);
+  EXPECT_GT(wal_->byte_size(), 0);
+
+  int replayed = 0;
+  WalReplayStats stats;
+  ASSERT_TRUE(wal_->Replay(
+                      [&](const WalRecord&) {
+                        ++replayed;
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_EQ(replayed, 1);  // only the synced record
+  EXPECT_TRUE(stats.stopped_at_torn_tail);
+  EXPECT_EQ(wal_->torn_tails_seen(), 1);
+}
+
+TEST_F(WalTest, CorruptTailEndsReplayCleanly) {
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  r.txn_id = 1;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  ASSERT_TRUE(wal_->Sync().ok());
+  WalRecord insert;
+  insert.type = WalRecordType::kInsert;
+  insert.txn_id = 2;
+  insert.object_name = "t";
+  insert.row = {Value::String("unsynced")};
+  ASSERT_TRUE(wal_->Append(insert).ok());
+
+  wal_->SimulateCrash(CrashMode::kCorruptTail);
+
+  int replayed = 0;
+  WalReplayStats stats;
+  ASSERT_TRUE(wal_->Replay(
+                      [&](const WalRecord&) {
+                        ++replayed;
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_EQ(replayed, 1);
+  EXPECT_TRUE(stats.stopped_at_corrupt_tail);
+  EXPECT_EQ(wal_->corrupt_tails_seen(), 1);
+}
+
+TEST_F(WalTest, AppendAfterCrashTruncatesDamagedTail) {
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  r.txn_id = 1;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  wal_->SimulateCrash(CrashMode::kTornTail);
+
+  // A recovering system writes over the damaged tail.
+  r.txn_id = 2;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  std::vector<uint64_t> txns;
+  WalReplayStats stats;
+  ASSERT_TRUE(wal_->Replay(
+                      [&](const WalRecord& got) {
+                        txns.push_back(got.txn_id);
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_EQ(txns[0], 2u);
+  EXPECT_FALSE(stats.stopped_at_torn_tail);
+}
+
+TEST_F(WalTest, CrashWithNothingUnsyncedIsHarmless) {
+  WalRecord r;
+  r.type = WalRecordType::kBegin;
+  ASSERT_TRUE(wal_->Append(r).ok());
+  ASSERT_TRUE(wal_->Sync().ok());
+  wal_->SimulateCrash(CrashMode::kTornTail);  // no unsynced tail to tear
+  int replayed = 0;
+  ASSERT_TRUE(wal_->Replay([&](const WalRecord&) {
+                    ++replayed;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(replayed, 1);
+}
+
 TEST_F(WalTest, RowWithAllValueTypesRoundTrips) {
   WalRecord r;
   r.type = WalRecordType::kInsert;
