@@ -1,0 +1,128 @@
+// Experiment T8: overload protection under sustained over-budget ingest.
+// A raw-row CQ buffers every click for an hour, so the memory governor's
+// window account grows with ingest volume; the budget is set so the offered
+// load is 2x or 5x what fits. Each admission policy is then driven with the
+// same batches and we record what the paper's network-effect framing cares
+// about: how much load is shed (and that it is *counted*, not silent), how
+// far peak memory overshoots the budget (bound: one batch), what the
+// steady-state footprint is after windows close, and — for BLOCK — the p99
+// ingest latency cost of waiting for headroom instead of dropping.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/memory_governor.h"
+#include "workloads.h"
+
+namespace streamrel::bench {
+namespace {
+
+const char* kPolicies[] = {"BLOCK", "SHED_NEWEST", "SHED_OLDEST"};
+
+/// Bytes the window account will be charged for `rows` (row estimate plus
+/// the per-element timestamp the window operator stores alongside).
+int64_t WindowBytes(const std::vector<std::vector<Row>>& batches) {
+  int64_t total = 0;
+  for (const auto& batch : batches) {
+    for (const Row& row : batch) {
+      total += EstimateRowBytes(row) + static_cast<int64_t>(sizeof(int64_t));
+    }
+  }
+  return total;
+}
+
+void BM_OverloadPolicy(benchmark::State& state) {
+  const char* policy = kPolicies[state.range(0)];
+  const int64_t over_factor = state.range(1);  // offered load = factor x budget
+  const int64_t rows = 24000;
+  const size_t batch_rows = 512;
+
+  int64_t pushed = 0, admitted = 0, shed = 0;
+  int64_t budget = 0, peak = 0, steady = 0;
+  std::vector<int64_t> latencies_us;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    UrlClickWorkload workload(/*url_cardinality=*/200, /*rows_per_sec=*/40);
+    std::vector<std::vector<Row>> batches;
+    int64_t remaining = rows;
+    while (remaining > 0) {
+      size_t n = static_cast<size_t>(
+          std::min<int64_t>(remaining, static_cast<int64_t>(batch_rows)));
+      batches.push_back(workload.NextBatch(n));
+      remaining -= static_cast<int64_t>(n);
+    }
+    budget = WindowBytes(batches) / over_factor;
+
+    engine::Database db;
+    Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+    Check(db.CreateContinuousQuery(
+                "hold",
+                "SELECT url, atime, client_ip FROM url_stream "
+                "<VISIBLE '1 hour'>")
+              .status(),
+          "create buffer CQ");
+    Check(db.Execute("SET MEMORY LIMIT " + std::to_string(budget)).status(),
+          "set budget");
+    Check(db.Execute(std::string("SET OVERLOAD POLICY url_stream ") + policy)
+              .status(),
+          "set policy");
+    // BLOCK has no downstream consumer freeing memory here, so waits always
+    // hit the bounded-timeout admit; keep the bound short so the benchmark
+    // measures the latency floor, not an arbitrary sleep.
+    db.runtime()->SetBlockTimeoutMicros(2000);
+    latencies_us.clear();
+    latencies_us.reserve(batches.size());
+    state.ResumeTiming();
+
+    for (const auto& batch : batches) {
+      auto start = std::chrono::steady_clock::now();
+      Check(db.Ingest("url_stream", batch), "ingest");
+      auto end = std::chrono::steady_clock::now();
+      latencies_us.push_back(
+          std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+              .count());
+    }
+
+    state.PauseTiming();
+    auto counters = db.runtime()->overload_counters("url_stream");
+    pushed = rows;
+    admitted = counters.rows_admitted;
+    shed = counters.rows_shed;
+    peak = db.runtime()->governor()->peak_held();
+    // Close every window: steady state is what remains charged after the
+    // buffered hour expires and results flush to subscribers.
+    Check(db.AdvanceTime("url_stream", workload.now() + 2 * 60 * kMin),
+          "close windows");
+    steady = db.runtime()->governor()->held();
+    state.ResumeTiming();
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  double p99 = latencies_us.empty()
+                   ? 0.0
+                   : static_cast<double>(
+                         latencies_us[latencies_us.size() * 99 / 100]);
+
+  state.counters["rows_pushed"] = static_cast<double>(pushed);
+  state.counters["rows_admitted"] = static_cast<double>(admitted);
+  state.counters["shed_pct"] =
+      100.0 * static_cast<double>(shed) / static_cast<double>(pushed);
+  state.counters["peak_x_budget"] =
+      static_cast<double>(peak) / static_cast<double>(budget);
+  state.counters["steady_kb"] = static_cast<double>(steady) / 1024.0;
+  state.counters["p99_ingest_us"] = p99;
+}
+BENCHMARK(BM_OverloadPolicy)
+    ->ArgsProduct({{0, 1, 2}, {2, 5}})
+    ->ArgNames({"policy", "over"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace streamrel::bench
+
+BENCHMARK_MAIN();

@@ -6,8 +6,11 @@
 # Builds into build-tsan/ or build-asan/ (separate from the normal build/)
 # so sanitized and plain object files never mix, then runs ctest. Any extra
 # arguments are forwarded to ctest (e.g. -R parallel_runtime_test). The
-# full suite includes the crash-recovery torture tests; scripts/torture.sh
-# runs just those (label `torture`) under ASan+UBSan.
+# full suite includes the crash-recovery and overload torture tests;
+# scripts/torture.sh runs just those (labels `torture` + `overload`)
+# under ASan+UBSan. `thread` mode additionally covers the concurrency
+# stress tests (ingest vs. control plane, overload budget/policy flips
+# mid-ingest) under TSAN.
 set -euo pipefail
 
 MODE="${1:-thread}"

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Runs the crash-recovery torture suite (ctest label `torture`) under
+# Runs the torture suites (ctest labels `torture` and `overload`) under
 # ASan+UBSan.
 #
 #   scripts/torture.sh [ctest-args...]
 #
-# The suite replays 100 randomized workloads, crashing each one at sampled
-# k-th fault-point hits (with clean/torn/corrupt WAL tails) and recovering
-# via both strategies; recovered tables must match a no-crash oracle byte
-# for byte. A failure prints the (seed, strategy, k, mode) tuple to re-run
-# with --gtest_filter. Extra arguments are forwarded to ctest, e.g.
+# The crash-recovery suite (`torture`) replays 100 randomized workloads,
+# crashing each one at sampled k-th fault-point hits (with clean/torn/
+# corrupt WAL tails) and recovering via both strategies; recovered tables
+# must match a no-crash oracle byte for byte. A failure prints the (seed,
+# strategy, k, mode) tuple to re-run with --gtest_filter. The overload
+# suite (`overload`) drives every admission policy at parallelism 1/2/4
+# over a forced memory budget plus the sink-retry and quarantine fault
+# drills; exact accounting and oracle equivalence are asserted while
+# ASan+UBSan watch the shed/requeue paths. Extra arguments are forwarded
+# to ctest, e.g.
 #   scripts/torture.sh --verbose
 #
 # Reuses sanitize.sh's build-asan/ tree, so a prior sanitize run makes this
@@ -28,4 +33,4 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
 cd "$BUILD_DIR"
-ctest --output-on-failure -L torture "$@"
+ctest --output-on-failure -L "torture|overload" "$@"

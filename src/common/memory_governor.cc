@@ -1,0 +1,19 @@
+#include "common/memory_governor.h"
+
+namespace streamrel {
+
+int64_t EstimateValueBytes(const Value& v) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Value));
+  if (v.type() == DataType::kString) {
+    bytes += static_cast<int64_t>(v.AsString().size());
+  }
+  return bytes;
+}
+
+int64_t EstimateRowBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row));
+  for (const Value& v : row) bytes += EstimateValueBytes(v);
+  return bytes;
+}
+
+}  // namespace streamrel

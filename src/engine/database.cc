@@ -569,6 +569,11 @@ Result<QueryResult> Database::ExecuteShowStats(
       }
       filter_scope = "channel";
       break;
+    case Target::kOverload:
+      // Whole scope: governor accounts, retry counters, and per-stream
+      // admission counters. No object-name filter.
+      filter_scope = "overload";
+      break;
   }
   EngineStats stats = StatsSnapshot();
   QueryResult result;
@@ -578,7 +583,8 @@ Result<QueryResult> Database::ExecuteShowStats(
                           Column("value", DataType::kInt64)});
   for (const stream::MetricSample& sample : stats.metrics) {
     if (!filter_scope.empty() &&
-        (sample.scope != filter_scope || sample.name != filter_name)) {
+        (sample.scope != filter_scope ||
+         (stmt.target != Target::kOverload && sample.name != filter_name))) {
       continue;
     }
     // Timestamp gauges report micros; INT64_MIN means "never set" and
@@ -596,6 +602,46 @@ Result<QueryResult> Database::ExecuteShowStats(
 }
 
 Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
+  QueryResult result;
+  if (stmt.option == "memory_limit") {
+    if (stmt.value < 0) {
+      return Status::InvalidArgument("MEMORY LIMIT must be >= 0");
+    }
+    runtime_.SetMemoryBudget(stmt.value);
+    result.message = "SET MEMORY LIMIT " + std::to_string(stmt.value);
+    return result;
+  }
+  if (stmt.option == "overload_policy") {
+    stream::OverloadPolicy policy;
+    if (stmt.text_value == "BLOCK") {
+      policy = stream::OverloadPolicy::kBlock;
+    } else if (stmt.text_value == "SHED_NEWEST") {
+      policy = stream::OverloadPolicy::kShedNewest;
+    } else if (stmt.text_value == "SHED_OLDEST") {
+      policy = stream::OverloadPolicy::kShedOldest;
+    } else {
+      return Status::InvalidArgument("unknown overload policy '" +
+                                     stmt.text_value + "'");
+    }
+    if (catalog_.GetStream(stmt.target) == nullptr) {
+      return Status::NotFound("stream '" + stmt.target + "' not found");
+    }
+    RETURN_IF_ERROR(runtime_.RegisterStream(stmt.target));
+    RETURN_IF_ERROR(runtime_.SetOverloadPolicy(stmt.target, policy));
+    result.message = "SET OVERLOAD POLICY " + ToLower(stmt.target) + " " +
+                     stmt.text_value;
+    return result;
+  }
+  if (stmt.option == "retry_limit") {
+    RETURN_IF_ERROR(runtime_.SetRetryLimit(stmt.value));
+    result.message = "SET RETRY LIMIT " + std::to_string(stmt.value);
+    return result;
+  }
+  if (stmt.option == "retry_backoff") {
+    RETURN_IF_ERROR(runtime_.SetRetryBackoff(stmt.value));
+    result.message = "SET RETRY BACKOFF " + std::to_string(stmt.value);
+    return result;
+  }
   if (stmt.option != "parallelism") {
     return Status::InvalidArgument("unknown SET option '" + stmt.option +
                                    "'");
@@ -607,7 +653,6 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
         std::to_string(stream::StreamRuntime::kMaxParallelism));
   }
   RETURN_IF_ERROR(runtime_.SetParallelism(static_cast<int>(stmt.value)));
-  QueryResult result;
   result.message = "SET PARALLELISM " + std::to_string(stmt.value);
   return result;
 }
@@ -857,6 +902,18 @@ Result<QueryResult> Database::ExecuteCreateView(
 Result<QueryResult> Database::ExecuteCreateChannel(
     const sql::CreateChannelStmt& stmt) {
   const catalog::StreamInfo* stream = catalog_.GetStream(stmt.from_stream);
+  if (stream == nullptr &&
+      stream::StreamRuntime::IsQuarantineName(stmt.from_stream)) {
+    // Subscribing to a dead-letter stream that has not captured anything
+    // yet: materialise it on demand so the channel can start before the
+    // first bad row arrives.
+    std::string base = ToLower(stmt.from_stream);
+    base.resize(base.size() - (sizeof(".__quarantine") - 1));
+    if (catalog_.GetStream(base) != nullptr) {
+      RETURN_IF_ERROR(runtime_.EnsureQuarantineStream(base));
+      stream = catalog_.GetStream(stmt.from_stream);
+    }
+  }
   if (stream == nullptr) {
     return Status::NotFound("stream '" + stmt.from_stream +
                             "' does not exist");
@@ -970,6 +1027,31 @@ Result<QueryResult> Database::ExecuteDrop(const sql::DropStmt& stmt) {
   return result;
 }
 
+namespace {
+void CollectBaseRefs(const sql::TableRef& ref, std::vector<std::string>* out);
+
+void CollectBaseRefs(const sql::SelectStmt& sel,
+                     std::vector<std::string>* out) {
+  for (const auto& ref : sel.from) CollectBaseRefs(*ref, out);
+  for (const auto& branch : sel.union_all) CollectBaseRefs(*branch, out);
+}
+
+void CollectBaseRefs(const sql::TableRef& ref, std::vector<std::string>* out) {
+  switch (ref.kind) {
+    case sql::TableRefKind::kBase:
+      out->push_back(ref.name);
+      break;
+    case sql::TableRefKind::kSubquery:
+      CollectBaseRefs(*ref.subquery, out);
+      break;
+    case sql::TableRefKind::kJoin:
+      CollectBaseRefs(*ref.left, out);
+      CollectBaseRefs(*ref.right, out);
+      break;
+  }
+}
+}  // namespace
+
 Result<stream::ContinuousQuery*> Database::CreateContinuousQuery(
     const std::string& name, const std::string& select_sql,
     bool allow_shared) {
@@ -980,8 +1062,22 @@ Result<stream::ContinuousQuery*> Database::CreateContinuousQuery(
     return Status::InvalidArgument(
         "CreateContinuousQuery expects a SELECT statement");
   }
-  return runtime_.CreateCq(name, static_cast<const sql::SelectStmt&>(*stmt),
-                           allow_shared);
+  const auto& select = static_cast<const sql::SelectStmt&>(*stmt);
+  // A CQ may subscribe to a quarantine stream before any row has been
+  // quarantined; create the dead-letter stream lazily so the plan binds.
+  std::vector<std::string> refs;
+  CollectBaseRefs(select, &refs);
+  for (const std::string& ref : refs) {
+    if (stream::StreamRuntime::IsQuarantineName(ref) &&
+        catalog_.GetStream(ref) == nullptr) {
+      std::string base = ToLower(ref);
+      base.resize(base.size() - (sizeof(".__quarantine") - 1));
+      if (catalog_.GetStream(base) != nullptr) {
+        RETURN_IF_ERROR(runtime_.EnsureQuarantineStream(base));
+      }
+    }
+  }
+  return runtime_.CreateCq(name, select, allow_shared);
 }
 
 Status Database::DropContinuousQuery(const std::string& name) {

@@ -263,18 +263,25 @@ struct ExplainStmt : Statement {
 /// ordinary rows (scope, name, metric, value). Without FOR, every metric
 /// the engine tracks is returned.
 struct ShowStatsStmt : Statement {
-  enum class Target { kAll, kCq, kStream, kChannel };
+  enum class Target { kAll, kCq, kStream, kChannel, kOverload };
   Target target = Target::kAll;
   std::string name;  // empty for kAll
 
   StatementKind kind() const override { return StatementKind::kShowStats; }
 };
 
-/// SET <option> <value>: engine-level runtime options. Currently only
-/// SET PARALLELISM <n> (the worker-shard count for stream ingest).
+/// SET <option> <value>: engine-level runtime options.
+///   SET PARALLELISM <n>                — worker-shard count for ingest
+///   SET MEMORY LIMIT <bytes>           — governor budget (0 = unlimited)
+///   SET OVERLOAD POLICY <stream> BLOCK|SHED_NEWEST|SHED_OLDEST
+///   SET RETRY LIMIT <n>                — sink delivery attempts (1..1000)
+///   SET RETRY BACKOFF <micros>         — base retry backoff
 struct SetStmt : Statement {
-  std::string option;  // lowercased, e.g. "parallelism"
-  int64_t value = 0;
+  std::string option;      // lowercased, e.g. "parallelism", "memory_limit",
+                           // "overload_policy", "retry_limit", "retry_backoff"
+  int64_t value = 0;       // numeric operand (parallelism, bytes, attempts)
+  std::string target;      // object operand: stream name for OVERLOAD POLICY
+  std::string text_value;  // symbolic operand: policy name, uppercased
 
   StatementKind kind() const override { return StatementKind::kSet; }
 };

@@ -92,6 +92,41 @@ class Parser {
     return Advance().text;
   }
 
+  Result<int64_t> ExpectInteger(const char* what) {
+    if (Peek().type != TokenType::kInteger) {
+      return Result<int64_t>(Error(std::string("expected ") + what));
+    }
+    return Advance().int_value;
+  }
+
+  /// Possibly-dotted object name: `ident ('.' ident)*`, joined with dots.
+  /// The lexer emits '.' as an operator, so names like
+  /// `trades.__quarantine` arrive as three tokens.
+  Result<std::string> ParseObjectName(const char* what) {
+    ASSIGN_OR_RETURN(std::string name, ExpectIdentifier(what));
+    while (Peek().IsOperator(".") && Peek(1).type == TokenType::kIdentifier) {
+      Advance();  // '.'
+      name += "." + Advance().text;
+    }
+    return name;
+  }
+
+  /// Recursion limiter for the self-recursive productions (parenthesised
+  /// expressions, NOT/unary chains, subqueries). Deeply nested input must
+  /// come back as a ParseError, never a stack overflow.
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : p_(p) { ++p_->depth_; }
+    ~DepthGuard() { --p_->depth_; }
+    Parser* p_;
+  };
+  Status CheckDepth() const {
+    if (depth_ > kMaxDepth) {
+      return Status::ParseError("statement nesting exceeds the depth limit (" +
+                                std::to_string(kMaxDepth) + ")");
+    }
+    return Status::OK();
+  }
+
   Status Error(const std::string& msg) const {
     const Token& t = Peek();
     std::string got = t.type == TokenType::kEnd ? "end of input"
@@ -159,14 +194,45 @@ class Parser {
     std::string option;
     ASSIGN_OR_RETURN(option, ExpectIdentifier("option name"));
     stmt->option = ToLower(option);
+    if (stmt->option == "memory") {
+      // SET MEMORY LIMIT <bytes>
+      RETURN_IF_ERROR(ExpectKeyword("limit"));
+      stmt->option = "memory_limit";
+      ASSIGN_OR_RETURN(stmt->value, ExpectInteger("byte budget"));
+      return StatementPtr(std::move(stmt));
+    }
+    if (stmt->option == "overload") {
+      // SET OVERLOAD POLICY <stream> BLOCK|SHED_NEWEST|SHED_OLDEST
+      RETURN_IF_ERROR(ExpectKeyword("policy"));
+      stmt->option = "overload_policy";
+      ASSIGN_OR_RETURN(stmt->target, ParseObjectName("stream name"));
+      ASSIGN_OR_RETURN(std::string policy, ExpectIdentifier("overload policy"));
+      stmt->text_value = ToUpper(policy);
+      if (stmt->text_value != "BLOCK" && stmt->text_value != "SHED_NEWEST" &&
+          stmt->text_value != "SHED_OLDEST") {
+        return Result<StatementPtr>(
+            Error("expected BLOCK, SHED_NEWEST, or SHED_OLDEST"));
+      }
+      return StatementPtr(std::move(stmt));
+    }
+    if (stmt->option == "retry") {
+      // SET RETRY LIMIT <attempts> | SET RETRY BACKOFF <micros>
+      if (MatchKeyword("limit")) {
+        stmt->option = "retry_limit";
+        ASSIGN_OR_RETURN(stmt->value, ExpectInteger("attempt count"));
+      } else if (MatchKeyword("backoff")) {
+        stmt->option = "retry_backoff";
+        ASSIGN_OR_RETURN(stmt->value, ExpectInteger("backoff microseconds"));
+      } else {
+        return Result<StatementPtr>(Error("expected LIMIT or BACKOFF"));
+      }
+      return StatementPtr(std::move(stmt));
+    }
     if (stmt->option != "parallelism") {
       return Result<StatementPtr>(
           Error("unknown SET option '" + option + "'"));
     }
-    if (Peek().type != TokenType::kInteger) {
-      return Result<StatementPtr>(Error("expected integer value"));
-    }
-    stmt->value = Advance().int_value;
+    ASSIGN_OR_RETURN(stmt->value, ExpectInteger("value"));
     return StatementPtr(std::move(stmt));
   }
 
@@ -236,6 +302,12 @@ class Parser {
     RETURN_IF_ERROR(ExpectKeyword("stats"));
     auto stmt = std::make_unique<ShowStatsStmt>();
     if (MatchKeyword("for")) {
+      if (MatchKeyword("overload")) {
+        // Whole overload scope (governor, retry, per-stream admission);
+        // takes no object name.
+        stmt->target = ShowStatsStmt::Target::kOverload;
+        return StatementPtr(std::move(stmt));
+      }
       if (MatchKeyword("cq")) {
         stmt->target = ShowStatsStmt::Target::kCq;
       } else if (MatchKeyword("stream")) {
@@ -244,9 +316,9 @@ class Parser {
         stmt->target = ShowStatsStmt::Target::kChannel;
       } else {
         return Result<StatementPtr>(
-            Error("expected CQ, STREAM, or CHANNEL after FOR"));
+            Error("expected CQ, STREAM, CHANNEL, or OVERLOAD after FOR"));
       }
-      ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("object name"));
+      ASSIGN_OR_RETURN(stmt->name, ParseObjectName("object name"));
     }
     return StatementPtr(std::move(stmt));
   }
@@ -399,7 +471,7 @@ class Parser {
     auto stmt = std::make_unique<CreateChannelStmt>();
     ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("channel name"));
     RETURN_IF_ERROR(ExpectKeyword("from"));
-    ASSIGN_OR_RETURN(stmt->from_stream, ExpectIdentifier("stream name"));
+    ASSIGN_OR_RETURN(stmt->from_stream, ParseObjectName("stream name"));
     RETURN_IF_ERROR(ExpectKeyword("into"));
     ASSIGN_OR_RETURN(stmt->into_table, ExpectIdentifier("table name"));
     if (MatchKeyword("replace")) {
@@ -441,7 +513,7 @@ class Parser {
       RETURN_IF_ERROR(ExpectKeyword("exists"));
       stmt->if_exists = true;
     }
-    ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("object name"));
+    ASSIGN_OR_RETURN(stmt->name, ParseObjectName("object name"));
     return StatementPtr(std::move(stmt));
   }
 
@@ -488,6 +560,8 @@ class Parser {
 
   /// SELECT ... FROM ... WHERE ... GROUP BY ... HAVING (no union/order/limit).
   Result<std::unique_ptr<SelectStmt>> ParseSelectCore() {
+    DepthGuard guard(this);
+    RETURN_IF_ERROR(CheckDepth());
     RETURN_IF_ERROR(ExpectKeyword("select"));
     auto stmt = std::make_unique<SelectStmt>();
     if (MatchKeyword("distinct")) {
@@ -570,7 +644,7 @@ class Parser {
       RETURN_IF_ERROR(ExpectOperator(")"));
     } else {
       ref = std::make_unique<TableRef>(TableRefKind::kBase);
-      ASSIGN_OR_RETURN(ref->name, ExpectIdentifier("table or stream name"));
+      ASSIGN_OR_RETURN(ref->name, ParseObjectName("table or stream name"));
     }
     // Optional TruSQL window clause: `<VISIBLE ... ADVANCE ...>` or
     // `<SLICES n WINDOWS>`. Disambiguated from comparison by the keyword
@@ -651,7 +725,11 @@ class Parser {
 
   // --- expressions (precedence climbing) ----------------------------------
 
-  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseExpr() {
+    DepthGuard guard(this);
+    RETURN_IF_ERROR(CheckDepth());
+    return ParseOr();
+  }
 
   Result<ExprPtr> ParseOr() {
     ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
@@ -674,6 +752,8 @@ class Parser {
 
   Result<ExprPtr> ParseNot() {
     if (MatchKeyword("not")) {
+      DepthGuard guard(this);
+      RETURN_IF_ERROR(CheckDepth());
       ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
       return Expr::MakeUnary(UnaryOp::kNot, std::move(operand));
     }
@@ -791,6 +871,8 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (MatchOperator("-")) {
+      DepthGuard guard(this);
+      RETURN_IF_ERROR(CheckDepth());
       ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
       return Expr::MakeUnary(UnaryOp::kNegate, std::move(operand));
     }
@@ -946,8 +1028,14 @@ class Parser {
     return Expr::MakeColumnRef("", first);
   }
 
+  // One parenthesis/NOT/unary/subquery level costs one depth unit but ~10
+  // stack frames through the precedence chain; 250 keeps the worst case
+  // under the default 8 MB stack even with ASan's enlarged frames.
+  static constexpr int kMaxDepth = 250;
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

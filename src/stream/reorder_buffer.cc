@@ -2,6 +2,38 @@
 
 namespace streamrel::stream {
 
+ReorderBuffer::~ReorderBuffer() {
+  if (governor_ != nullptr) {
+    governor_->Release(MemoryGovernor::Account::kReorder, bytes_buffered_);
+  }
+}
+
+void ReorderBuffer::BindGovernor(MemoryGovernor* governor) {
+  if (governor_ == governor) return;
+  if (governor_ != nullptr) {
+    governor_->Release(MemoryGovernor::Account::kReorder, bytes_buffered_);
+  }
+  governor_ = governor;
+  if (governor_ != nullptr) {
+    governor_->Add(MemoryGovernor::Account::kReorder, bytes_buffered_);
+  }
+}
+
+void ReorderBuffer::ChargeRow(const Row& row) {
+  int64_t bytes = EstimateRowBytes(row);
+  bytes_buffered_ += bytes;
+  if (governor_ != nullptr) {
+    governor_->Add(MemoryGovernor::Account::kReorder, bytes);
+  }
+}
+
+void ReorderBuffer::ReleaseCharge(int64_t bytes) {
+  bytes_buffered_ -= bytes;
+  if (governor_ != nullptr) {
+    governor_->Release(MemoryGovernor::Account::kReorder, bytes);
+  }
+}
+
 Status ReorderBuffer::Push(int64_t ts, Row row) {
   if (watermark_ != INT64_MIN && ts < watermark_ - slack_) {
     ++rejected_;
@@ -10,6 +42,7 @@ Status ReorderBuffer::Push(int64_t ts, Row row) {
         "row at " + std::to_string(ts) + " is earlier than the slack bound (" +
         std::to_string(watermark_ - slack_) + ")");
   }
+  ChargeRow(row);
   pending_[ts].push_back(std::move(row));
   ++buffered_;
   if (buffered_metric_ != nullptr) {
@@ -21,22 +54,37 @@ Status ReorderBuffer::Push(int64_t ts, Row row) {
 }
 
 Status ReorderBuffer::ReleaseUpTo(int64_t bound) {
+  std::vector<int64_t> stamps;
   std::vector<Row> batch;
+  int64_t batch_bytes = 0;
   while (!pending_.empty() && pending_.begin()->first <= bound) {
+    int64_t ts = pending_.begin()->first;
     for (Row& row : pending_.begin()->second) {
+      batch_bytes += EstimateRowBytes(row);
+      stamps.push_back(ts);
       batch.push_back(std::move(row));
     }
     pending_.erase(pending_.begin());
   }
   if (batch.empty()) return Status::OK();
-  // The rows leave the buffer either way, but only count as released once
-  // the sink has actually accepted them — a failing sink must not leave
-  // counters claiming delivery.
+  Status status = sink_(batch);
+  if (!status.ok()) {
+    // Re-buffer everything the sink did not accept: the drained buckets
+    // were removed whole in ascending-timestamp order, so re-inserting in
+    // the same order restores both the map and each bucket's arrival
+    // order. The rows stay counted as buffered (and charged to the
+    // governor), making a transient sink failure retryable — the next
+    // Push past the bound, or Flush, delivers them again.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      pending_[stamps[i]].push_back(std::move(batch[i]));
+    }
+    return status;
+  }
   buffered_ -= batch.size();
+  ReleaseCharge(batch_bytes);
   if (buffered_metric_ != nullptr) {
     buffered_metric_->Set(static_cast<int64_t>(buffered_));
   }
-  RETURN_IF_ERROR(sink_(batch));
   released_ += static_cast<int64_t>(batch.size());
   if (released_metric_ != nullptr) {
     released_metric_->Add(static_cast<int64_t>(batch.size()));

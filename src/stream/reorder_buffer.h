@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "common/memory_governor.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "stream/metrics.h"
@@ -34,6 +35,7 @@ class ReorderBuffer {
 
   ReorderBuffer(int64_t slack_micros, Sink sink)
       : slack_(slack_micros), sink_(std::move(sink)) {}
+  ~ReorderBuffer();
 
   /// Accepts a row with timestamp `ts`. Returns kInvalidArgument (and does
   /// not buffer) if the row is too late: ts < watermark - slack.
@@ -47,8 +49,10 @@ class ReorderBuffer {
 
   size_t buffered_rows() const { return buffered_; }
   /// Rows successfully delivered to the sink. Rows a failing sink did not
-  /// accept are neither buffered nor released (pushed - released -
-  /// buffered - rejected = lost to sink errors).
+  /// accept are re-buffered (still counted in buffered_rows) so a
+  /// transient sink failure is retryable: the next Push or Flush delivers
+  /// them again, in order. Invariant: pushed == released + buffered +
+  /// rejected — no row is ever silently lost.
   int64_t rows_released() const { return released_; }
   /// Rows rejected at Push for being older than the slack bound.
   int64_t rows_rejected() const { return rejected_; }
@@ -62,8 +66,14 @@ class ReorderBuffer {
     buffered_metric_ = buffered;
   }
 
+  /// Charges pending-row bytes to `governor` (kReorder account) from now
+  /// on; already-pending rows are charged immediately. nullptr detaches.
+  void BindGovernor(MemoryGovernor* governor);
+
  private:
   Status ReleaseUpTo(int64_t bound);
+  void ChargeRow(const Row& row);
+  void ReleaseCharge(int64_t bytes);
 
   const int64_t slack_;
   Sink sink_;
@@ -72,6 +82,8 @@ class ReorderBuffer {
   size_t buffered_ = 0;
   int64_t released_ = 0;
   int64_t rejected_ = 0;
+  int64_t bytes_buffered_ = 0;
+  MemoryGovernor* governor_ = nullptr;
   Counter* released_metric_ = nullptr;
   Counter* rejected_metric_ = nullptr;
   Gauge* buffered_metric_ = nullptr;

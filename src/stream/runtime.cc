@@ -1,10 +1,25 @@
 #include "stream/runtime.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/fault_injector.h"
 #include "common/string_util.h"
 #include "exec/operators.h"
 
 namespace streamrel::stream {
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "BLOCK";
+    case OverloadPolicy::kShedNewest:
+      return "SHED_NEWEST";
+    case OverloadPolicy::kShedOldest:
+      return "SHED_OLDEST";
+  }
+  return "?";
+}
 
 namespace {
 /// Rows per shard chunk: large enough that queue traffic is rare, small
@@ -66,6 +81,7 @@ Status StreamRuntime::AttachCqSubscription(ContinuousQuery* cq) {
   Subscription sub;
   sub.cq = cq;
   sub.window_op = std::make_unique<WindowOperator>(cq->window());
+  sub.window_op->BindGovernor(&governor_);
   sub.feed_rows = !cq->is_shared();
   state->subs.push_back(std::move(sub));
   return Status::OK();
@@ -84,6 +100,9 @@ Result<ContinuousQuery*> StreamRuntime::CreateCq(const std::string& name,
                                           &registry_, allow_shared));
   ContinuousQuery* ptr = cq.get();
   RETURN_IF_ERROR(AttachCqSubscription(ptr));
+  if (ptr->is_shared()) {
+    ptr->shared_aggregator()->BindGovernor(&governor_);
+  }
   // A CQ created while parallel may have opened a fresh pipeline; give it
   // the same shard fan-out as the rest of the engine.
   if (ptr->is_shared() &&
@@ -257,6 +276,18 @@ Status StreamRuntime::ProcessClosed(Subscription* sub,
 Status StreamRuntime::Ingest(const std::string& stream,
                              const std::vector<Row>& rows,
                              int64_t system_time) {
+  // Dead-letter rows collected anywhere below are published only once the
+  // outermost entry unwinds — a delivery callback may re-enter Ingest.
+  ++ingest_depth_;
+  Status status = IngestImpl(stream, rows, system_time);
+  --ingest_depth_;
+  if (ingest_depth_ == 0) FlushQuarantine();
+  return status;
+}
+
+Status StreamRuntime::IngestImpl(const std::string& stream,
+                                 const std::vector<Row>& rows,
+                                 int64_t system_time) {
   StreamState* state = GetState(stream);
   if (state == nullptr) {
     RETURN_IF_ERROR(RegisterStream(stream));
@@ -268,45 +299,62 @@ Status StreamRuntime::Ingest(const std::string& stream,
         "cannot ingest into derived stream '" + stream +
         "'; it is computed by its defining query");
   }
-  if (!workers_.empty()) return IngestParallel(state, rows, system_time);
+  // Batch-level contract violations stay hard errors; only per-row data
+  // problems divert to the quarantine stream.
+  if (info->cqtime_system && system_time == INT64_MIN) {
+    return Status::InvalidArgument(
+        "stream '" + stream + "' has CQTIME SYSTEM; pass an ingest time");
+  }
+  size_t admit_begin = 0;
+  size_t admit_end = rows.size();
+  AdmitBatch(state, rows, &admit_begin, &admit_end);
+  if (!workers_.empty()) {
+    return IngestParallel(state, rows, system_time, admit_begin, admit_end);
+  }
   const size_t arity = info->schema.num_columns();
   std::vector<WindowBatch> closed;
   // Rows as actually admitted (CQTIME SYSTEM stamps the timestamp column);
   // channels and client subscriptions see these, not the raw input.
   std::vector<Row> admitted;
-  admitted.reserve(rows.size());
-  for (const Row& row : rows) {
+  admitted.reserve(admit_end - admit_begin);
+  for (size_t i = admit_begin; i < admit_end; ++i) {
+    const Row& row = rows[i];
     if (row.size() != arity) {
-      return Status::InvalidArgument(
-          "row arity does not match stream '" + stream + "'");
+      QuarantineRow(state, "arity",
+                    "row arity " + std::to_string(row.size()) +
+                        " does not match stream '" + stream + "' (" +
+                        std::to_string(arity) + " columns)",
+                    row);
+      continue;
     }
     int64_t ts;
     if (info->cqtime_system) {
-      if (system_time == INT64_MIN) {
-        return Status::InvalidArgument(
-            "stream '" + stream +
-            "' has CQTIME SYSTEM; pass an ingest time");
-      }
       ts = system_time;
     } else {
       const Value& tv = row[info->cqtime_column];
       if (tv.is_null()) {
-        return Status::InvalidArgument("NULL CQTIME value");
+        QuarantineRow(state, "null_cqtime", "NULL CQTIME value", row);
+        continue;
       }
       if (tv.type() == DataType::kTimestamp) {
         ts = tv.AsTimestampMicros();
       } else if (tv.type() == DataType::kInt64) {
         ts = tv.AsInt64();
       } else {
-        return Status::InvalidArgument(
-            "CQTIME column must be a timestamp");
+        QuarantineRow(state, "bad_cqtime_type",
+                      std::string("CQTIME column must be a timestamp, got ") +
+                          DataTypeToString(tv.type()),
+                      row);
+        continue;
       }
     }
     if (state->watermark != INT64_MIN && ts < state->watermark) {
-      return Status::InvalidArgument(
-          "out-of-order row: ts " + std::to_string(ts) +
-          " is behind stream watermark " +
-          std::to_string(state->watermark));
+      QuarantineRow(state, "late",
+                    "ts " + std::to_string(ts) +
+                        " is behind stream watermark " +
+                        std::to_string(state->watermark),
+                    row);
+      continue;
     }
     Row stamped = row;
     if (info->cqtime_system) {
@@ -328,6 +376,7 @@ Status StreamRuntime::Ingest(const std::string& stream,
     }
     state->watermark = ts;
     ++rows_ingested_;
+    ++state->overload.rows_admitted;
     admitted.push_back(std::move(stamped));
   }
   if (metrics_.enabled() && !admitted.empty()) {
@@ -342,9 +391,12 @@ Status StreamRuntime::Ingest(const std::string& stream,
     agg->EvictBefore(state->watermark - agg->max_visible());
   }
   // Raw-stream channels archive ingested rows directly (commit time =
-  // current watermark).
+  // current watermark). Transient sink failures (WAL/table hiccups) are
+  // retried with backoff; OnRawRows restores its watermark on failure, so
+  // a retry re-delivers exactly the undelivered group.
   for (Channel* channel : state->channels) {
-    RETURN_IF_ERROR(channel->OnRawRows(state->watermark, admitted));
+    RETURN_IF_ERROR(WithSinkRetry(
+        [&] { return channel->OnRawRows(state->watermark, admitted); }));
   }
   for (const CqCallback& cb : state->client_subs) {
     RETURN_IF_ERROR(cb(state->watermark, admitted));
@@ -354,7 +406,8 @@ Status StreamRuntime::Ingest(const std::string& stream,
 
 Status StreamRuntime::IngestParallel(StreamState* state,
                                      const std::vector<Row>& rows,
-                                     int64_t system_time) {
+                                     int64_t system_time, size_t admit_begin,
+                                     size_t admit_end) {
   catalog::StreamInfo* info = state->info;
   const size_t arity = info->schema.num_columns();
   // Resolved on the coordinator and re-resolved after every window close:
@@ -385,11 +438,21 @@ Status StreamRuntime::IngestParallel(StreamState* state,
   const size_t nworkers = workers_.size();
   std::vector<std::vector<ShardRow>> pending(nworkers);
 
+  // Queued chunks are charged to the governor (kShardQueue) at enqueue;
+  // the worker releases the charge once the chunk is absorbed.
+  auto charge_chunk = [&](const std::vector<ShardRow>& chunk_rows) {
+    int64_t bytes = 0;
+    for (const ShardRow& sr : chunk_rows) bytes += EstimateRowBytes(sr.row);
+    governor_.Add(MemoryGovernor::Account::kShardQueue, bytes);
+    return bytes;
+  };
   auto flush = [&]() -> Status {
     for (size_t w = 0; w < nworkers; ++w) {
       if (pending[w].empty()) continue;
       RETURN_IF_ERROR(FaultInjector::Instance().Hit("shard.enqueue"));
-      workers_[w]->Push(ShardChunk{pipelines, std::move(pending[w])});
+      int64_t bytes = charge_chunk(pending[w]);
+      workers_[w]->Push(
+          ShardChunk{pipelines, std::move(pending[w]), &governor_, bytes});
       pending[w].clear();
     }
     return Status::OK();
@@ -412,38 +475,48 @@ Status StreamRuntime::IngestParallel(StreamState* state,
 
   std::vector<WindowBatch> closed;
   std::vector<Row> admitted;
-  admitted.reserve(rows.size());
-  for (const Row& row : rows) {
+  admitted.reserve(admit_end - admit_begin);
+  for (size_t i = admit_begin; i < admit_end; ++i) {
+    const Row& row = rows[i];
+    // Row-level validation runs on the coordinator with exactly the serial
+    // path's checks, so quarantine decisions are identical at every
+    // parallelism level.
     if (row.size() != arity) {
-      return fail(Status::InvalidArgument(
-          "row arity does not match stream '" + info->name + "'"));
+      QuarantineRow(state, "arity",
+                    "row arity " + std::to_string(row.size()) +
+                        " does not match stream '" + info->name + "' (" +
+                        std::to_string(arity) + " columns)",
+                    row);
+      continue;
     }
     int64_t ts;
     if (info->cqtime_system) {
-      if (system_time == INT64_MIN) {
-        return fail(Status::InvalidArgument(
-            "stream '" + info->name +
-            "' has CQTIME SYSTEM; pass an ingest time"));
-      }
       ts = system_time;
     } else {
       const Value& tv = row[info->cqtime_column];
       if (tv.is_null()) {
-        return fail(Status::InvalidArgument("NULL CQTIME value"));
+        QuarantineRow(state, "null_cqtime", "NULL CQTIME value", row);
+        continue;
       }
       if (tv.type() == DataType::kTimestamp) {
         ts = tv.AsTimestampMicros();
       } else if (tv.type() == DataType::kInt64) {
         ts = tv.AsInt64();
       } else {
-        return fail(
-            Status::InvalidArgument("CQTIME column must be a timestamp"));
+        QuarantineRow(state, "bad_cqtime_type",
+                      std::string("CQTIME column must be a timestamp, got ") +
+                          DataTypeToString(tv.type()),
+                      row);
+        continue;
       }
     }
     if (state->watermark != INT64_MIN && ts < state->watermark) {
-      return fail(Status::InvalidArgument(
-          "out-of-order row: ts " + std::to_string(ts) +
-          " is behind stream watermark " + std::to_string(state->watermark)));
+      QuarantineRow(state, "late",
+                    "ts " + std::to_string(ts) +
+                        " is behind stream watermark " +
+                        std::to_string(state->watermark),
+                    row);
+      continue;
     }
     Row stamped = row;
     if (info->cqtime_system) {
@@ -475,8 +548,10 @@ Status StreamRuntime::IngestParallel(StreamState* state,
       if (pending[target].size() >= kShardChunkRows) {
         Status st = FaultInjector::Instance().Hit("shard.enqueue");
         if (!st.ok()) return fail(std::move(st));
-        workers_[target]->Push(
-            ShardChunk{pipelines, std::move(pending[target])});
+        int64_t bytes = charge_chunk(pending[target]);
+        workers_[target]->Push(ShardChunk{pipelines,
+                                          std::move(pending[target]),
+                                          &governor_, bytes});
         pending[target].clear();
       }
     }
@@ -503,6 +578,7 @@ Status StreamRuntime::IngestParallel(StreamState* state,
     }
     state->watermark = ts;
     ++rows_ingested_;
+    ++state->overload.rows_admitted;
     admitted.push_back(std::move(stamped));
   }
   RETURN_IF_ERROR(barrier());
@@ -520,7 +596,8 @@ Status StreamRuntime::IngestParallel(StreamState* state,
     agg->EvictBefore(state->watermark - agg->max_visible());
   }
   for (Channel* channel : state->channels) {
-    RETURN_IF_ERROR(channel->OnRawRows(state->watermark, admitted));
+    RETURN_IF_ERROR(WithSinkRetry(
+        [&] { return channel->OnRawRows(state->watermark, admitted); }));
   }
   for (const CqCallback& cb : state->client_subs) {
     RETURN_IF_ERROR(cb(state->watermark, admitted));
@@ -622,7 +699,10 @@ Status StreamRuntime::PublishBatch(const std::string& stream, int64_t close,
     state->watermark_metric->Set(close);
   }
   for (Channel* channel : state->channels) {
-    RETURN_IF_ERROR(channel->OnBatch(close, rows));
+    // OnBatch dedups closes at or below the channel watermark, so a retry
+    // after a transient failure re-applies only the unpersisted batch.
+    RETURN_IF_ERROR(
+        WithSinkRetry([&] { return channel->OnBatch(close, rows); }));
   }
   for (const CqCallback& cb : state->client_subs) {
     RETURN_IF_ERROR(cb(close, rows));
@@ -694,6 +774,213 @@ Status StreamRuntime::SetCqEmitWatermark(const std::string& name,
   return Status::NotFound("continuous query '" + name + "' not found");
 }
 
+Status StreamRuntime::SetOverloadPolicy(const std::string& stream,
+                                        OverloadPolicy policy) {
+  RETURN_IF_ERROR(RegisterStream(stream));
+  GetState(stream)->policy = policy;
+  return Status::OK();
+}
+
+OverloadPolicy StreamRuntime::overload_policy(
+    const std::string& stream) const {
+  const StreamState* state = GetState(stream);
+  return state == nullptr ? OverloadPolicy::kBlock : state->policy;
+}
+
+Status StreamRuntime::SetRetryLimit(int64_t attempts) {
+  if (attempts < 1 || attempts > 1000) {
+    return Status::InvalidArgument(
+        "RETRY LIMIT must be between 1 and 1000 attempts");
+  }
+  retry_limit_ = attempts;
+  return Status::OK();
+}
+
+Status StreamRuntime::SetRetryBackoff(int64_t micros) {
+  if (micros < 0) {
+    return Status::InvalidArgument("RETRY BACKOFF must be >= 0");
+  }
+  retry_backoff_micros_ = micros;
+  return Status::OK();
+}
+
+StreamRuntime::OverloadCounters StreamRuntime::overload_counters(
+    const std::string& stream) const {
+  const StreamState* state = GetState(stream);
+  return state == nullptr ? OverloadCounters{} : state->overload;
+}
+
+std::string StreamRuntime::QuarantineName(const std::string& stream) {
+  return ToLower(stream) + ".__quarantine";
+}
+
+bool StreamRuntime::IsQuarantineName(const std::string& name) {
+  static const std::string kSuffix = ".__quarantine";
+  std::string lower = ToLower(name);
+  return lower.size() > kSuffix.size() &&
+         lower.compare(lower.size() - kSuffix.size(), kSuffix.size(),
+                       kSuffix) == 0;
+}
+
+Status StreamRuntime::EnsureQuarantineStream(const std::string& stream) {
+  if (IsQuarantineName(stream)) {
+    return Status::InvalidArgument(
+        "quarantine streams have no quarantine of their own");
+  }
+  std::string qname = QuarantineName(stream);
+  if (catalog_->GetStream(qname) == nullptr) {
+    catalog::StreamInfo info;
+    info.name = qname;
+    info.schema = Schema({Column("qtime", DataType::kTimestamp),
+                          Column("reason", DataType::kString),
+                          Column("detail", DataType::kString),
+                          Column("row_data", DataType::kString)});
+    info.cqtime_column = 0;
+    RETURN_IF_ERROR(catalog_->CreateStream(std::move(info)));
+  }
+  return RegisterStream(qname);
+}
+
+void StreamRuntime::AdmitBatch(StreamState* state,
+                               const std::vector<Row>& rows, size_t* begin,
+                               size_t* end) {
+  *begin = 0;
+  *end = rows.size();
+  // Dead-letter capture must not itself be refused: quarantine flushes
+  // bypass admission (their buffered footprint is still accounted).
+  if (rows.empty() || flushing_quarantine_ || governor_.budget() == 0) {
+    return;
+  }
+  std::vector<int64_t> bytes(rows.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bytes[i] = EstimateRowBytes(rows[i]);
+    total += bytes[i];
+  }
+  const int64_t headroom = governor_.headroom();
+  if (total <= headroom) return;
+  switch (state->policy) {
+    case OverloadPolicy::kBlock: {
+      // Backpressure: drain in-flight shard chunks (the only charge
+      // another thread can free), then wait out the bounded budget for
+      // headroom. BLOCK is lossless — after the timeout the batch is
+      // admitted regardless, trading latency (counted), never rows.
+      const auto start = std::chrono::steady_clock::now();
+      for (auto& w : workers_) w->WaitIdle();
+      constexpr int64_t kPollMicros = 200;
+      while (governor_.headroom() < total) {
+        const int64_t waited =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (waited >= block_timeout_micros_) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(kPollMicros));
+      }
+      state->overload.blocked_micros +=
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      return;
+    }
+    case OverloadPolicy::kShedNewest: {
+      // Keep the longest prefix that fits: older rows win under a policy
+      // that sheds the newest arrivals.
+      int64_t acc = 0;
+      size_t keep = 0;
+      while (keep < rows.size() && acc + bytes[keep] <= headroom) {
+        acc += bytes[keep];
+        ++keep;
+      }
+      *end = keep;
+      break;
+    }
+    case OverloadPolicy::kShedOldest: {
+      // Keep the longest suffix that fits; shedding the head preserves
+      // the batch's timestamp order for the admitted remainder.
+      int64_t acc = 0;
+      size_t keep = 0;
+      while (keep < rows.size() &&
+             acc + bytes[rows.size() - 1 - keep] <= headroom) {
+        acc += bytes[rows.size() - 1 - keep];
+        ++keep;
+      }
+      *begin = rows.size() - keep;
+      break;
+    }
+  }
+  state->overload.rows_shed +=
+      static_cast<int64_t>(rows.size() - (*end - *begin));
+}
+
+void StreamRuntime::QuarantineRow(StreamState* state, const char* reason,
+                                  std::string detail, const Row& row) {
+  ++state->overload.rows_quarantined;
+  if (flushing_quarantine_) {
+    // A dead-letter row rejected by its own dead-letter stream has
+    // nowhere left to go; count the drop instead of recursing.
+    ++quarantine_dropped_;
+    return;
+  }
+  const int64_t qtime =
+      state->watermark == INT64_MIN ? 0 : state->watermark;
+  Row qrow;
+  qrow.reserve(4);
+  qrow.push_back(Value::Timestamp(qtime));
+  qrow.push_back(Value::String(reason));
+  qrow.push_back(Value::String(std::move(detail)));
+  qrow.push_back(Value::String(RowToString(row)));
+  pending_quarantine_.push_back(
+      PendingQuarantine{state->info->name, std::move(qrow)});
+}
+
+void StreamRuntime::FlushQuarantine() {
+  if (flushing_quarantine_ || pending_quarantine_.empty()) return;
+  flushing_quarantine_ = true;
+  // Publishing a dead-letter row can itself quarantine-drop (counted) but
+  // never fails the source batch; errors here are absorbed.
+  while (!pending_quarantine_.empty()) {
+    std::vector<PendingQuarantine> batch = std::move(pending_quarantine_);
+    pending_quarantine_.clear();
+    for (PendingQuarantine& q : batch) {
+      Status status = EnsureQuarantineStream(q.stream);
+      if (status.ok()) {
+        status = Ingest(QuarantineName(q.stream), {std::move(q.row)});
+      }
+      if (!status.ok()) ++quarantine_dropped_;
+    }
+  }
+  flushing_quarantine_ = false;
+}
+
+Status StreamRuntime::WithSinkRetry(const std::function<Status()>& op) {
+  Status status = op();
+  int64_t backoff = retry_backoff_micros_;
+  for (int64_t attempt = 1; attempt < retry_limit_; ++attempt) {
+    if (status.ok() || status.code() != StatusCode::kIoError ||
+        FaultInjector::IsInjectedCrash(status)) {
+      return status;
+    }
+    // Exponential backoff with deterministic jitter: derived from the
+    // cumulative retry counter instead of an RNG, so reruns of a seeded
+    // workload retry on an identical schedule while periodic retries
+    // still de-phase from one another.
+    const int64_t jitter = (backoff / 4) * (retries_ % 3) / 2;
+    if (backoff + jitter > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(backoff + jitter));
+    }
+    ++retries_;
+    status = op();
+    if (backoff <= INT64_MAX / 2) backoff *= 2;
+  }
+  if (!status.ok() && retry_limit_ > 1 &&
+      status.code() == StatusCode::kIoError &&
+      !FaultInjector::IsInjectedCrash(status)) {
+    ++retries_exhausted_;
+  }
+  return status;
+}
+
 std::vector<std::string> StreamRuntime::CqNames() const {
   std::vector<std::string> names;
   names.reserve(cqs_.size());
@@ -730,7 +1017,35 @@ void StreamRuntime::RefreshMetricsGauges() {
     metrics_.GetGauge("stream", key, "client_subscriptions")
         ->Set(static_cast<int64_t>(state.client_subs.size()));
     state.watermark_metric->Set(state.watermark);
+    metrics_.GetGauge("overload", key, "rows_admitted")
+        ->Set(state.overload.rows_admitted);
+    metrics_.GetGauge("overload", key, "rows_shed")
+        ->Set(state.overload.rows_shed);
+    metrics_.GetGauge("overload", key, "rows_quarantined")
+        ->Set(state.overload.rows_quarantined);
+    metrics_.GetGauge("overload", key, "blocked_micros")
+        ->Set(state.overload.blocked_micros);
   }
+
+  metrics_.GetGauge("overload", "governor", "bytes_held")
+      ->Set(governor_.held());
+  metrics_.GetGauge("overload", "governor", "bytes_budget")
+      ->Set(governor_.budget());
+  metrics_.GetGauge("overload", "governor", "bytes_peak")
+      ->Set(governor_.peak_held());
+  metrics_.GetGauge("overload", "governor", "bytes_window")
+      ->Set(governor_.held(MemoryGovernor::Account::kWindow));
+  metrics_.GetGauge("overload", "governor", "bytes_aggregator")
+      ->Set(governor_.held(MemoryGovernor::Account::kAggregator));
+  metrics_.GetGauge("overload", "governor", "bytes_shard_queue")
+      ->Set(governor_.held(MemoryGovernor::Account::kShardQueue));
+  metrics_.GetGauge("overload", "governor", "bytes_reorder")
+      ->Set(governor_.held(MemoryGovernor::Account::kReorder));
+  metrics_.GetGauge("overload", "retry", "retries")->Set(retries_);
+  metrics_.GetGauge("overload", "retry", "exhausted")
+      ->Set(retries_exhausted_);
+  metrics_.GetGauge("overload", "quarantine", "rows_dropped")
+      ->Set(quarantine_dropped_);
 
   // Shared pipelines are keyed by their versioned signature; the registry
   // never drops one while the runtime lives, so refreshing in place is

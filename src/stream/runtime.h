@@ -1,12 +1,14 @@
 #ifndef STREAMREL_STREAM_RUNTIME_H_
 #define STREAMREL_STREAM_RUNTIME_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/memory_governor.h"
 #include "common/status.h"
 #include "storage/transaction.h"
 #include "storage/wal.h"
@@ -17,6 +19,16 @@
 #include "stream/window_operator.h"
 
 namespace streamrel::stream {
+
+/// What ingest does with a batch that would push buffered state past the
+/// memory budget (SET OVERLOAD POLICY <stream> ...).
+enum class OverloadPolicy {
+  kBlock,       // lossless: bounded wait for headroom, then admit anyway
+  kShedNewest,  // keep the batch head that fits, drop the newest rows
+  kShedOldest,  // keep the batch tail that fits, drop the oldest rows
+};
+
+const char* OverloadPolicyName(OverloadPolicy policy);
 
 /// The continuous-analytics dataflow engine: routes arriving stream rows
 /// through shared slice aggregators and per-CQ window operators, fires
@@ -107,6 +119,66 @@ class StreamRuntime {
   /// Upper bound for SET PARALLELISM (sanity cap, not a tuning target).
   static constexpr int kMaxParallelism = 64;
 
+  // --- overload protection ----------------------------------------------------
+
+  /// The engine-wide byte ledger (window buffers, aggregator groups,
+  /// shard queues, reorder buffers charge into it).
+  MemoryGovernor* governor() { return &governor_; }
+  const MemoryGovernor* governor() const { return &governor_; }
+
+  /// SET MEMORY LIMIT <bytes>; 0 = unlimited (the default).
+  void SetMemoryBudget(int64_t bytes) { governor_.SetBudget(bytes); }
+
+  /// SET OVERLOAD POLICY <stream> BLOCK|SHED_NEWEST|SHED_OLDEST. The
+  /// stream is registered if needed.
+  Status SetOverloadPolicy(const std::string& stream, OverloadPolicy policy);
+  OverloadPolicy overload_policy(const std::string& stream) const;
+
+  /// SET RETRY LIMIT <n>: total sink attempts per batch, >= 1. The
+  /// default 1 means no retries (transient failures surface immediately,
+  /// exactly as before this knob existed).
+  Status SetRetryLimit(int64_t attempts);
+  int64_t retry_limit() const { return retry_limit_; }
+  /// SET RETRY BACKOFF <micros>: first retry delay; doubles per attempt
+  /// (plus deterministic jitter).
+  Status SetRetryBackoff(int64_t micros);
+  int64_t retry_backoff_micros() const { return retry_backoff_micros_; }
+
+  /// Bound on how long a BLOCK-policy ingest waits for headroom before
+  /// admitting anyway (BLOCK is lossless; it trades latency, not rows).
+  void SetBlockTimeoutMicros(int64_t micros) {
+    block_timeout_micros_ = micros < 0 ? 0 : micros;
+  }
+  int64_t block_timeout_micros() const { return block_timeout_micros_; }
+
+  /// Per-stream admission accounting. Invariant for every batch pushed
+  /// through Ingest: pushed == admitted + shed + quarantined (plus any
+  /// rows lost to a genuine mid-batch error, which fails the call).
+  struct OverloadCounters {
+    int64_t rows_admitted = 0;
+    int64_t rows_shed = 0;
+    int64_t rows_quarantined = 0;
+    int64_t blocked_micros = 0;
+  };
+  OverloadCounters overload_counters(const std::string& stream) const;
+
+  int64_t sink_retries() const { return retries_; }
+  int64_t sink_retries_exhausted() const { return retries_exhausted_; }
+  /// Quarantine rows dropped because the quarantine stream itself could
+  /// not accept them (never fails the source batch).
+  int64_t quarantine_dropped() const { return quarantine_dropped_; }
+
+  /// Dead-letter stream name for `stream` (lowercased base +
+  /// ".__quarantine").
+  static std::string QuarantineName(const std::string& stream);
+  /// True if `name` is some stream's dead-letter stream.
+  static bool IsQuarantineName(const std::string& name);
+
+  /// Creates (in the catalog, if missing) and registers the dead-letter
+  /// stream for `stream`. Schema: (qtime timestamp CQTIME USER,
+  /// reason varchar, detail varchar, row_data varchar).
+  Status EnsureQuarantineStream(const std::string& stream);
+
   // --- recovery support ------------------------------------------------------
 
   /// Serializes a generic CQ's window-operator state (checkpoint strategy).
@@ -167,6 +239,10 @@ class StreamRuntime {
     Counter* batches_published_metric = nullptr;
     Counter* rows_published_metric = nullptr;
     Gauge* watermark_metric = nullptr;
+    /// Overload admission state (authoritative; mirrored into the
+    /// `overload` metric scope on RefreshMetricsGauges).
+    OverloadPolicy policy = OverloadPolicy::kBlock;
+    OverloadCounters overload;
   };
 
   StreamState* GetState(const std::string& name);
@@ -180,11 +256,31 @@ class StreamRuntime {
 
   Status AttachCqSubscription(ContinuousQuery* cq);
 
+  Status IngestImpl(const std::string& stream, const std::vector<Row>& rows,
+                    int64_t system_time);
+
   /// Parallel twin of the Ingest row loop: stamps/validates on the
   /// coordinator, hash-partitions rows to the worker shards, and barriers
   /// before evaluating any window close so merges see complete partials.
   Status IngestParallel(StreamState* state, const std::vector<Row>& rows,
-                        int64_t system_time);
+                        int64_t system_time, size_t begin, size_t end);
+
+  /// Admission pre-pass: decides the contiguous [*begin, *end) slice of
+  /// `rows` that gets in under the current policy/headroom and counts the
+  /// rest as shed. No-op (full batch) when under budget.
+  void AdmitBatch(StreamState* state, const std::vector<Row>& rows,
+                  size_t* begin, size_t* end);
+
+  /// Records one rejected row into the stream's pending dead-letter batch
+  /// (flushed when the outermost runtime entry returns).
+  void QuarantineRow(StreamState* state, const char* reason,
+                     std::string detail, const Row& row);
+  void FlushQuarantine();
+
+  /// Runs `op` with bounded retry on transient (kIoError, non-crash)
+  /// failures: retry_limit_ total attempts, exponential backoff with
+  /// deterministic jitter between them.
+  Status WithSinkRetry(const std::function<Status()>& op);
 
   /// Folds the workers' cumulative stats into the `shard` scope metrics
   /// (delta counters; call only while workers are idle).
@@ -201,6 +297,24 @@ class StreamRuntime {
   int64_t rows_ingested_ = 0;
   MetricsRegistry metrics_;
   Counter* engine_rows_metric_ = nullptr;  // engine-wide ingest total
+
+  // --- overload protection state ---
+  MemoryGovernor governor_;
+  int64_t retry_limit_ = 1;              // total attempts; 1 = no retries
+  int64_t retry_backoff_micros_ = 1000;  // first retry delay
+  int64_t block_timeout_micros_ = 10000;
+  int64_t retries_ = 0;
+  int64_t retries_exhausted_ = 0;
+  int64_t quarantine_dropped_ = 0;
+  struct PendingQuarantine {
+    std::string stream;  // base stream the row was rejected from
+    Row row;             // (qtime, reason, detail, row_data)
+  };
+  std::vector<PendingQuarantine> pending_quarantine_;
+  /// Nesting depth of Ingest (delivery callbacks may re-enter); the
+  /// quarantine buffer flushes when the outermost call unwinds.
+  int ingest_depth_ = 0;
+  bool flushing_quarantine_ = false;
 
   int parallelism_ = 1;
   /// Cached `shard` scope metric cells plus the last folded-in worker

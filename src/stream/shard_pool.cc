@@ -64,6 +64,10 @@ void ShardWorker::Loop() {
       if (!status.ok()) break;  // first error wins; rest of chunk dropped
       ++done;
     }
+    if (chunk.governor != nullptr) {
+      chunk.governor->Release(MemoryGovernor::Account::kShardQueue,
+                              chunk.charge_bytes);
+    }
 
     lock.lock();
     busy_ = false;

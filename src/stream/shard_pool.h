@@ -30,6 +30,10 @@ struct ShardRow {
 struct ShardChunk {
   const std::vector<SliceAggregator*>* pipelines = nullptr;
   std::vector<ShardRow> rows;
+  /// Governor charge (kShardQueue) taken by the coordinator at enqueue
+  /// time; the worker releases it once the chunk is absorbed.
+  MemoryGovernor* governor = nullptr;
+  int64_t charge_bytes = 0;
 };
 
 /// One partition-parallel worker: a thread draining a bounded

@@ -14,7 +14,51 @@ SliceAggregator::SliceAggregator(int64_t slice_width_micros,
       group_exprs_(std::move(group_exprs)) {}
 
 SliceAggregator::SliceAggregator(const SliceAggregator* parent)
-    : slice_width_(parent->slice_width_), parent_(parent) {}
+    : slice_width_(parent->slice_width_),
+      governor_(parent->governor_),
+      parent_(parent) {}
+
+SliceAggregator::~SliceAggregator() { ReleaseAllCharges(); }
+
+// Aggregate states are small fixed-size accumulators (count/sum/min/max
+// cells); DISTINCT states can grow, but a stable flat estimate keeps the
+// charge deterministic across runs and platforms.
+static constexpr int64_t kAggStateBytes = 64;
+
+int64_t SliceAggregator::GroupBytes(const Group& g) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Group));
+  for (const Value& v : g.keys) bytes += EstimateValueBytes(v);
+  bytes += static_cast<int64_t>(g.states.size()) * kAggStateBytes;
+  return bytes;
+}
+
+void SliceAggregator::ChargeSlice(Slice* slice, int64_t bytes) {
+  slice->bytes += bytes;
+  bytes_held_ += bytes;
+  if (governor_ != nullptr) {
+    governor_->Add(MemoryGovernor::Account::kAggregator, bytes);
+  }
+}
+
+void SliceAggregator::ReleaseAllCharges() {
+  if (governor_ != nullptr && bytes_held_ != 0) {
+    governor_->Release(MemoryGovernor::Account::kAggregator, bytes_held_);
+  }
+  bytes_held_ = 0;
+}
+
+void SliceAggregator::BindGovernor(MemoryGovernor* governor) {
+  if (governor_ != governor) {
+    if (governor_ != nullptr) {
+      governor_->Release(MemoryGovernor::Account::kAggregator, bytes_held_);
+    }
+    governor_ = governor;
+    if (governor_ != nullptr) {
+      governor_->Add(MemoryGovernor::Account::kAggregator, bytes_held_);
+    }
+  }
+  for (auto& shard : shards_) shard->BindGovernor(governor);
+}
 
 bool SliceAggregator::HasAbsorbed() const {
   if (rows_absorbed_ > 0 || !slices_.empty()) return true;
@@ -101,6 +145,7 @@ SliceAggregator::Group* SliceAggregator::FindOrCreateGroup(
   }
   g.states = states.TakeValue();
   slice->groups.push_back(std::move(g));
+  ChargeSlice(slice, GroupBytes(slice->groups.back()));
   return &slice->groups.back();
 }
 
@@ -253,6 +298,11 @@ Result<std::vector<Row>> SliceAggregator::ComputeWindow(
 
 void SliceAggregator::EvictBefore(int64_t ts) {
   while (!slices_.empty() && slices_.begin()->first + slice_width_ <= ts) {
+    int64_t bytes = slices_.begin()->second.bytes;
+    bytes_held_ -= bytes;
+    if (governor_ != nullptr && bytes != 0) {
+      governor_->Release(MemoryGovernor::Account::kAggregator, bytes);
+    }
     slices_.erase(slices_.begin());
   }
   for (auto& shard : shards_) shard->EvictBefore(ts);
@@ -311,6 +361,7 @@ Status SliceAggregator::FoldShardsIn() {
           copy.states.push_back(state->Clone());
         }
         dst.groups.push_back(std::move(copy));
+        ChargeSlice(&dst, GroupBytes(dst.groups.back()));
         continue;
       }
       for (size_t i = 0; i < target->states.size(); ++i) {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_governor.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "exec/binder.h"
@@ -45,6 +46,12 @@ class SliceAggregator {
   /// and ADVANCE.
   SliceAggregator(int64_t slice_width_micros, exec::BoundExprPtr filter,
                   std::vector<exec::BoundExprPtr> group_exprs);
+  ~SliceAggregator();
+
+  /// Charges group-state bytes (kAggregator account) to `governor` from
+  /// now on, propagating to existing and future shard replicas. Existing
+  /// state is charged immediately; nullptr detaches and releases.
+  void BindGovernor(MemoryGovernor* governor);
 
   /// Registers a member CQ's aggregate calls; calls with a display name
   /// already in the union are shared, new ones are appended. Appending is
@@ -127,6 +134,9 @@ class SliceAggregator {
   struct Slice {
     std::vector<Group> groups;
     std::unordered_map<size_t, std::vector<size_t>> lookup;
+    /// Governor charge attributed to this slice's groups; released whole
+    /// when the slice is evicted.
+    int64_t bytes = 0;
   };
 
   /// Shard replica: shares the parent's filter/group/call configuration,
@@ -154,6 +164,13 @@ class SliceAggregator {
   /// global first-seen order) and discards the shards.
   Status FoldShardsIn();
 
+  /// Deterministic size estimate of one group (keys + fixed per-state
+  /// cost); the governor charge unit for the kAggregator account.
+  static int64_t GroupBytes(const Group& g);
+  /// Records `bytes` against `slice` and the governor.
+  void ChargeSlice(Slice* slice, int64_t bytes);
+  void ReleaseAllCharges();
+
   const int64_t slice_width_;
   exec::BoundExprPtr filter_;
   std::vector<exec::BoundExprPtr> group_exprs_;
@@ -162,6 +179,9 @@ class SliceAggregator {
   int64_t rows_absorbed_ = 0;
   int64_t max_visible_ = 0;
   int64_t member_cqs_ = 0;
+
+  MemoryGovernor* governor_ = nullptr;
+  int64_t bytes_held_ = 0;
 
   const SliceAggregator* parent_ = nullptr;  // set on shard replicas
   std::vector<std::unique_ptr<SliceAggregator>> shards_;

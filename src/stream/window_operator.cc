@@ -6,6 +6,50 @@ namespace streamrel::stream {
 
 WindowOperator::WindowOperator(WindowSpec spec) : spec_(spec) {}
 
+WindowOperator::~WindowOperator() {
+  if (governor_ != nullptr) {
+    governor_->Release(MemoryGovernor::Account::kWindow, bytes_buffered_);
+  }
+}
+
+void WindowOperator::BindGovernor(MemoryGovernor* governor) {
+  if (governor_ == governor) return;
+  if (governor_ != nullptr) {
+    governor_->Release(MemoryGovernor::Account::kWindow, bytes_buffered_);
+  }
+  governor_ = governor;
+  if (governor_ != nullptr) {
+    governor_->Add(MemoryGovernor::Account::kWindow, bytes_buffered_);
+  }
+}
+
+void WindowOperator::PushElement(Element e) {
+  int64_t bytes = EstimateRowBytes(e.row) + static_cast<int64_t>(sizeof(int64_t));
+  bytes_buffered_ += bytes;
+  if (governor_ != nullptr) {
+    governor_->Add(MemoryGovernor::Account::kWindow, bytes);
+  }
+  buffer_.push_back(std::move(e));
+}
+
+void WindowOperator::PopFrontElement() {
+  int64_t bytes = EstimateRowBytes(buffer_.front().row) +
+                  static_cast<int64_t>(sizeof(int64_t));
+  bytes_buffered_ -= bytes;
+  if (governor_ != nullptr) {
+    governor_->Release(MemoryGovernor::Account::kWindow, bytes);
+  }
+  buffer_.pop_front();
+}
+
+void WindowOperator::ClearBuffer() {
+  if (governor_ != nullptr) {
+    governor_->Release(MemoryGovernor::Account::kWindow, bytes_buffered_);
+  }
+  bytes_buffered_ = 0;
+  buffer_.clear();
+}
+
 Status WindowOperator::AddRow(int64_t ts, Row row,
                               std::vector<WindowBatch>* closed) {
   if (ts < last_ts_) {
@@ -23,13 +67,13 @@ Status WindowOperator::AddRow(int64_t ts, Row row,
       // A row at `ts` proves the watermark reached `ts`; every window with
       // close <= ts is complete (the row itself belongs to a later window).
       RETURN_IF_ERROR(CloseDueWindows(ts, closed));
-      buffer_.push_back(Element{ts, std::move(row)});
+      PushElement(Element{ts, std::move(row)});
       return Status::OK();
     }
     case WindowSpec::Kind::kRows: {
-      buffer_.push_back(Element{ts, std::move(row)});
+      PushElement(Element{ts, std::move(row)});
       while (static_cast<int64_t>(buffer_.size()) > spec_.visible) {
-        buffer_.pop_front();
+        PopFrontElement();
       }
       if (++rows_since_advance_ >= spec_.advance) {
         rows_since_advance_ = 0;
@@ -51,7 +95,7 @@ Status WindowOperator::AddRow(int64_t ts, Row row,
 Status WindowOperator::AddBatch(int64_t close, const std::vector<Row>& rows,
                                 std::vector<WindowBatch>* closed) {
   if (spec_.kind == WindowSpec::Kind::kSlices) {
-    for (const Row& row : rows) buffer_.push_back(Element{close, row});
+    for (const Row& row : rows) PushElement(Element{close, row});
     last_ts_ = close;
     if (++batches_since_emit_ >= spec_.slices_count) {
       batches_since_emit_ = 0;
@@ -59,7 +103,7 @@ Status WindowOperator::AddBatch(int64_t close, const std::vector<Row>& rows,
       batch.close_micros = close;
       batch.rows.reserve(buffer_.size());
       for (Element& e : buffer_) batch.rows.push_back(std::move(e.row));
-      buffer_.clear();
+      ClearBuffer();
       closed->push_back(std::move(batch));
     }
     return Status::OK();
@@ -104,7 +148,7 @@ Status WindowOperator::CloseDueWindows(int64_t watermark,
 }
 
 void WindowOperator::EvictBefore(int64_t ts) {
-  while (!buffer_.empty() && buffer_.front().ts < ts) buffer_.pop_front();
+  while (!buffer_.empty() && buffer_.front().ts < ts) PopFrontElement();
 }
 
 void WindowOperator::Serialize(std::string* out) const {
@@ -132,7 +176,7 @@ Status WindowOperator::Restore(const std::string& data) {
     offset += sizeof(*v);
     return Status::OK();
   };
-  buffer_.clear();
+  ClearBuffer();
   RETURN_IF_ERROR(get_i64(&next_close_));
   RETURN_IF_ERROR(get_i64(&rows_since_advance_));
   RETURN_IF_ERROR(get_i64(&batches_since_emit_));
@@ -143,13 +187,13 @@ Status WindowOperator::Restore(const std::string& data) {
     Element e;
     RETURN_IF_ERROR(get_i64(&e.ts));
     ASSIGN_OR_RETURN(e.row, DeserializeRow(data, &offset));
-    buffer_.push_back(std::move(e));
+    PushElement(std::move(e));
   }
   return Status::OK();
 }
 
 void WindowOperator::ResetToWatermark(int64_t watermark) {
-  buffer_.clear();
+  ClearBuffer();
   rows_since_advance_ = 0;
   batches_since_emit_ = 0;
   if (spec_.kind == WindowSpec::Kind::kTime) {

@@ -4,6 +4,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/memory_governor.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "stream/window.h"
@@ -33,8 +34,14 @@ struct WindowBatch {
 class WindowOperator {
  public:
   explicit WindowOperator(WindowSpec spec);
+  ~WindowOperator();
 
   const WindowSpec& spec() const { return spec_; }
+
+  /// Charges buffered-row bytes to `governor` (kWindow account) from now
+  /// on; already-buffered rows are charged immediately. Pass nullptr to
+  /// detach (releases any charge).
+  void BindGovernor(MemoryGovernor* governor);
 
   /// Starts the close schedule at the first boundary after `ts` if it has
   /// not started yet (time windows). Used for subscriptions that receive
@@ -79,7 +86,15 @@ class WindowOperator {
   Status CloseDueWindows(int64_t watermark, std::vector<WindowBatch>* closed);
   void EvictBefore(int64_t ts);
 
+  // All buffer_ mutations go through these so the governor charge stays
+  // exact at every mutation site (push/evict/clear/restore).
+  void PushElement(Element e);
+  void PopFrontElement();
+  void ClearBuffer();
+
   const WindowSpec spec_;
+  MemoryGovernor* governor_ = nullptr;
+  int64_t bytes_buffered_ = 0;
   std::deque<Element> buffer_;
   int64_t next_close_ = INT64_MIN;  // time windows: next close boundary
   int64_t rows_since_advance_ = 0;  // row windows

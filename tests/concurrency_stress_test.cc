@@ -117,5 +117,87 @@ TEST(ConcurrencyStressTest, IngestVsControlPlane) {
   EXPECT_EQ(db.runtime()->rows_ingested(), expected * kProducers);
 }
 
+TEST(ConcurrencyStressTest, OverloadControlPlaneUnderIngest) {
+  // Same shape as above, but the control thread also flips the memory
+  // budget and per-stream overload policies while producers hammer Ingest.
+  // The engine mutex serializes everything; the invariant checked at the
+  // end is the admission identity (admitted + shed + quarantined ==
+  // pushed) per stream — overload protection must never lose count, no
+  // matter how the budget changes interleave.
+  constexpr int kProducers = 3;
+  constexpr int kBatchesPerProducer = 40;
+  constexpr int kRowsPerBatch = 8;
+
+  engine::Database db;
+  for (int p = 0; p < kProducers; ++p) {
+    MustExecute(&db, "CREATE STREAM s" + std::to_string(p) +
+                         " (url varchar, ts timestamp CQTIME USER, "
+                         "bytes bigint)");
+    auto cq = db.CreateContinuousQuery(
+        "hold" + std::to_string(p),
+        "SELECT url, ts, bytes FROM s" + std::to_string(p) +
+            " <VISIBLE '1 hour'>");
+    ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  }
+  MustExecute(&db, "SET PARALLELISM 2");
+  db.runtime()->SetBlockTimeoutMicros(200);
+
+  std::atomic<bool> failed{false};
+  auto record_failure = [&failed](const Status& st) {
+    if (!st.ok() && !failed.exchange(true)) {
+      ADD_FAILURE() << st.ToString();
+    }
+  };
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&db, &record_failure, p]() {
+      const std::string stream = "s" + std::to_string(p);
+      int64_t ts = 0;
+      for (int b = 0; b < kBatchesPerProducer; ++b) {
+        std::vector<Row> rows;
+        rows.reserve(kRowsPerBatch);
+        for (int r = 0; r < kRowsPerBatch; ++r) {
+          ts += kSec;
+          rows.push_back(Row{Value::String("u" + std::to_string(r % 4)),
+                             Value::Timestamp(ts),
+                             Value::Int64(b * kRowsPerBatch + r)});
+        }
+        record_failure(db.Ingest(stream, rows));
+      }
+    });
+  }
+
+  std::thread control([&db, &record_failure]() {
+    const char* policies[] = {"BLOCK", "SHED_NEWEST", "SHED_OLDEST"};
+    const int64_t budgets[] = {0, 8192, 65536};
+    for (int i = 0; i < 40; ++i) {
+      record_failure(db.Execute("SET MEMORY LIMIT " +
+                                std::to_string(budgets[i % 3]))
+                         .status());
+      record_failure(db.Execute(std::string("SET OVERLOAD POLICY s") +
+                                std::to_string(i % kProducers) + " " +
+                                policies[i % 3])
+                         .status());
+      record_failure(db.Execute("SHOW STATS FOR OVERLOAD").status());
+    }
+  });
+
+  for (std::thread& t : producers) t.join();
+  control.join();
+  ASSERT_FALSE(failed.load());
+
+  const int64_t pushed = kBatchesPerProducer * kRowsPerBatch;
+  for (int p = 0; p < kProducers; ++p) {
+    auto counters =
+        db.runtime()->overload_counters("s" + std::to_string(p));
+    EXPECT_EQ(counters.rows_admitted + counters.rows_shed +
+                  counters.rows_quarantined,
+              pushed)
+        << "s" << p;
+  }
+}
+
 }  // namespace
 }  // namespace streamrel

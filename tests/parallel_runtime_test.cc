@@ -106,6 +106,23 @@ void RunWorkload(int seed, int parallelism, Transcript* transcript) {
 
   if (!set_early) MustExecute(&db, set_sql);
 
+  // Quarantine observability: malformed rows injected below are diverted
+  // to the dead-letter stream; its contents (reason, detail, row text) are
+  // part of the transcript and must match across parallelism levels, since
+  // the quarantine decision is made on the coordinator.
+  ASSERT_TRUE(db.runtime()->EnsureQuarantineStream("clicks").ok());
+  ASSERT_TRUE(db.runtime()
+                  ->SubscribeStream(
+                      stream::StreamRuntime::QuarantineName("clicks"),
+                      [&out](int64_t, const std::vector<Row>& rows) {
+                        for (const Row& row : rows) {
+                          out.events.push_back("quarantine: " +
+                                               RowToString(row));
+                        }
+                        return Status::OK();
+                      })
+                  .ok());
+
   // Clicks arrive nearly ordered; a slack buffer restores order before
   // ingest, exactly as a real collector front-end would.
   const int64_t slack = 15 * kSec;
@@ -132,6 +149,28 @@ void RunWorkload(int seed, int parallelism, Transcript* transcript) {
             Value::Int64(static_cast<int64_t>(rng() % 1000))};
     Status pushed = reorder.Push(ts, std::move(row));
     ASSERT_TRUE(pushed.ok()) << pushed.ToString();
+
+    // A sprinkle of malformed rows, ingested directly (not through the
+    // reorder buffer, which needs a timestamp): wrong arity, NULL CQTIME,
+    // or a mis-typed CQTIME column. Each is quarantined, never an error,
+    // and never perturbs the admitted-row outputs.
+    if (rng() % 9 == 0) {
+      Row bad;
+      switch (rng() % 3) {
+        case 0:
+          bad = Row{Value::String("torn")};
+          break;
+        case 1:
+          bad = Row{Value::String("u1"), Value::Null(), Value::Int64(1)};
+          break;
+        default:
+          bad = Row{Value::String("u2"), Value::String("not-a-time"),
+                    Value::Int64(2)};
+          break;
+      }
+      Status st = db.Ingest("clicks", {std::move(bad)});
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
 
     // Interleave a system-time batch roughly every third click.
     if (rng() % 3 == 0 && sys_sent < n_sys_batches) {
@@ -165,6 +204,13 @@ void RunWorkload(int seed, int parallelism, Transcript* transcript) {
   out.archive =
       RowStrings(MustExecute(&db, "SELECT url, c, w FROM archive "
                                   "ORDER BY w, url"));
+
+  // Admission accounting is part of the observable surface too.
+  auto counters = db.runtime()->overload_counters("clicks");
+  out.events.push_back(
+      "clicks admitted=" + std::to_string(counters.rows_admitted) +
+      " quarantined=" + std::to_string(counters.rows_quarantined) +
+      " shed=" + std::to_string(counters.rows_shed));
 }
 
 class ParallelDifferentialTest : public ::testing::TestWithParam<int> {};

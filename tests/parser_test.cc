@@ -317,6 +317,73 @@ TEST(ParserTest, DropVariants) {
   EXPECT_TRUE(static_cast<const DropStmt&>(*drop_view).if_exists);
 }
 
+TEST(ParserTest, SetOverloadForms) {
+  {
+    StatementPtr stmt = Parse("SET MEMORY LIMIT 1048576");
+    const auto& set = static_cast<const SetStmt&>(*stmt);
+    EXPECT_EQ(set.option, "memory_limit");
+    EXPECT_EQ(set.value, 1048576);
+  }
+  {
+    StatementPtr stmt = Parse("SET OVERLOAD POLICY trades SHED_OLDEST");
+    const auto& set = static_cast<const SetStmt&>(*stmt);
+    EXPECT_EQ(set.option, "overload_policy");
+    EXPECT_EQ(set.target, "trades");
+    EXPECT_EQ(set.text_value, "SHED_OLDEST");
+  }
+  {
+    // Policy keyword is case-insensitive; stream names may be dotted.
+    StatementPtr stmt = Parse("SET OVERLOAD POLICY trades.__quarantine block");
+    const auto& set = static_cast<const SetStmt&>(*stmt);
+    EXPECT_EQ(set.target, "trades.__quarantine");
+    EXPECT_EQ(set.text_value, "BLOCK");
+  }
+  {
+    StatementPtr stmt = Parse("SET RETRY LIMIT 5");
+    const auto& set = static_cast<const SetStmt&>(*stmt);
+    EXPECT_EQ(set.option, "retry_limit");
+    EXPECT_EQ(set.value, 5);
+  }
+  {
+    StatementPtr stmt = Parse("SET RETRY BACKOFF 2000");
+    const auto& set = static_cast<const SetStmt&>(*stmt);
+    EXPECT_EQ(set.option, "retry_backoff");
+    EXPECT_EQ(set.value, 2000);
+  }
+  EXPECT_FALSE(ParseSingleStatement("SET MEMORY LIMIT big").ok());
+  EXPECT_FALSE(ParseSingleStatement("SET OVERLOAD POLICY s DROP_ALL").ok());
+  EXPECT_FALSE(ParseSingleStatement("SET RETRY SPEED 9").ok());
+}
+
+TEST(ParserTest, DottedObjectNames) {
+  {
+    auto stmt = Parse("SELECT reason FROM trades.__quarantine");
+    EXPECT_EQ(AsSelect(stmt).from[0]->name, "trades.__quarantine");
+  }
+  {
+    auto stmt = Parse("CREATE CHANNEL q FROM trades.__quarantine INTO t");
+    const auto& ch = static_cast<const CreateChannelStmt&>(*stmt);
+    EXPECT_EQ(ch.from_stream, "trades.__quarantine");
+  }
+  {
+    auto stmt = Parse("DROP STREAM trades.__quarantine");
+    const auto& drop = static_cast<const DropStmt&>(*stmt);
+    EXPECT_EQ(drop.name, "trades.__quarantine");
+  }
+  {
+    auto stmt = Parse("SHOW STATS FOR STREAM trades.__quarantine");
+    const auto& show = static_cast<const ShowStatsStmt&>(*stmt);
+    EXPECT_EQ(show.name, "trades.__quarantine");
+  }
+}
+
+TEST(ParserTest, ShowStatsForOverload) {
+  auto stmt = Parse("SHOW STATS FOR OVERLOAD");
+  const auto& show = static_cast<const ShowStatsStmt&>(*stmt);
+  EXPECT_EQ(show.target, ShowStatsStmt::Target::kOverload);
+  EXPECT_TRUE(show.name.empty());
+}
+
 TEST(ParserTest, MultipleStatements) {
   auto r = ParseSql("SELECT 1; SELECT 2;");
   ASSERT_TRUE(r.ok());

@@ -52,6 +52,21 @@ TEST(ParserRobustnessTest, MalformedStatements) {
       "SELECT /* unterminated",
       "EXPLAIN",
       "VACUUM",
+      "SET",
+      "SET MEMORY",
+      "SET MEMORY LIMIT",
+      "SET MEMORY LIMIT lots",
+      "SET OVERLOAD",
+      "SET OVERLOAD POLICY",
+      "SET OVERLOAD POLICY s",
+      "SET OVERLOAD POLICY s SOMETIMES",
+      "SET RETRY",
+      "SET RETRY LIMIT",
+      "SET RETRY BACKOFF fast",
+      "SHOW STATS FOR",
+      "SHOW STATS FOR QUASAR x",
+      "SELECT * FROM t.",
+      "DROP STREAM s.",
   };
   for (const char* text : cases) {
     auto r = sql::ParseSql(text);
@@ -133,6 +148,41 @@ TEST(EngineRobustnessTest, DeepExpressionNesting) {
   auto r = db.Execute("SELECT " + expr);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->rows[0][0].AsInt64(), 201);
+}
+
+TEST(ParserRobustnessTest, PathologicalNestingReturnsParseError) {
+  // Nesting far beyond the recursion limit must come back as a ParseError,
+  // not blow the stack. Exercise every self-recursive production.
+  {
+    std::string expr = "1";
+    std::string open(10000, '(');
+    std::string close(10000, ')');
+    auto r = sql::ParseSql("SELECT " + open + expr + close);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+  {
+    std::string nots;
+    for (int i = 0; i < 10000; ++i) nots += "NOT ";
+    auto r = sql::ParseSql("SELECT " + nots + "true");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+  {
+    std::string minuses(10000, '-');
+    auto r = sql::ParseSql("SELECT " + minuses + "1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+  {
+    std::string sql = "t";
+    for (int i = 0; i < 2000; ++i) {
+      sql = "(SELECT * FROM " + sql + ") q";
+    }
+    auto r = sql::ParseSql("SELECT * FROM " + sql);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
 }
 
 TEST(EngineRobustnessTest, ViewCycleDetected) {

@@ -25,21 +25,55 @@ class RuntimeTest : public ::testing::Test {
   engine::Database db_;
 };
 
-TEST_F(RuntimeTest, IngestValidatesArity) {
-  EXPECT_FALSE(db_.Ingest("s", {Row{Value::Int64(1)}}).ok());
+// Bad rows no longer fail the whole batch: they are diverted to the
+// stream's dead-letter quarantine and the rest of the batch proceeds.
+TEST_F(RuntimeTest, IngestQuarantinesArityMismatch) {
+  ASSERT_TRUE(db_.Ingest("s", {Row{Value::Int64(1)}}).ok());
+  auto counters = db_.runtime()->overload_counters("s");
+  EXPECT_EQ(counters.rows_quarantined, 1);
+  EXPECT_EQ(counters.rows_admitted, 0);
+  // The dead-letter stream now exists; a subscriber sees the next capture.
+  CqCapture cap;
+  ASSERT_TRUE(db_.runtime()
+                  ->SubscribeStream(StreamRuntime::QuarantineName("s"),
+                                    cap.Callback())
+                  .ok());
+  ASSERT_TRUE(db_.Ingest("s", {Row{Value::Int64(2)}}).ok());
+  ASSERT_EQ(cap.batches.size(), 1u);
+  ASSERT_EQ(cap.batches[0].rows.size(), 1u);
+  EXPECT_EQ(cap.batches[0].rows[0][1].AsString(), "arity");
 }
 
-TEST_F(RuntimeTest, IngestValidatesOrder) {
+TEST_F(RuntimeTest, IngestQuarantinesOutOfOrderRows) {
   ASSERT_TRUE(db_.Ingest("s", {R(1, 100)}).ok());
-  Status out_of_order = db_.Ingest("s", {R(2, 50)});
-  EXPECT_FALSE(out_of_order.ok());
-  EXPECT_NE(out_of_order.message().find("out-of-order"), std::string::npos);
+  // A row behind the watermark is quarantined as "late", not an error, and
+  // does not disturb the watermark.
+  ASSERT_TRUE(db_.Ingest("s", {R(2, 50)}).ok());
+  EXPECT_EQ(db_.runtime()->overload_counters("s").rows_quarantined, 1);
+  EXPECT_EQ(db_.runtime()->watermark("s"), 100);
   // Equal timestamps are accepted.
   EXPECT_TRUE(db_.Ingest("s", {R(3, 100)}).ok());
+  EXPECT_EQ(db_.runtime()->overload_counters("s").rows_admitted, 2);
 }
 
-TEST_F(RuntimeTest, IngestRejectsNullCqtime) {
-  EXPECT_FALSE(db_.Ingest("s", {Row{Value::Int64(1), Value::Null()}}).ok());
+TEST_F(RuntimeTest, IngestQuarantinesNullCqtime) {
+  ASSERT_TRUE(db_.Ingest("s", {Row{Value::Int64(1), Value::Null()}}).ok());
+  auto counters = db_.runtime()->overload_counters("s");
+  EXPECT_EQ(counters.rows_quarantined, 1);
+  EXPECT_EQ(counters.rows_admitted, 0);
+}
+
+TEST_F(RuntimeTest, QuarantineMixedBatchKeepsGoodRows) {
+  CqCapture cap;
+  ASSERT_TRUE(db_.runtime()->SubscribeStream("s", cap.Callback()).ok());
+  ASSERT_TRUE(db_.Ingest("s", {R(1, 100), Row{Value::Int64(9)},
+                               R(2, 200)})
+                  .ok());
+  ASSERT_EQ(cap.batches.size(), 1u);
+  ASSERT_EQ(cap.batches[0].rows.size(), 2u);
+  auto counters = db_.runtime()->overload_counters("s");
+  EXPECT_EQ(counters.rows_admitted, 2);
+  EXPECT_EQ(counters.rows_quarantined, 1);
 }
 
 TEST_F(RuntimeTest, IngestIntoDerivedStreamRejected) {
