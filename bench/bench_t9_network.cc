@@ -1,0 +1,213 @@
+// Experiment T9: what the network front-end costs over loopback, against
+// the in-process baseline. Three measurements: (a) bulk ingest throughput
+// through INGEST_BATCH frames vs. direct Database::Ingest, at several
+// batch sizes — the framing/checksum/syscall tax amortizes with batch
+// size; (b) control-plane round-trip latency (PING floor, then a QUERY
+// carrying SHOW STATS both ways); (c) push latency for a live SUBSCRIBE:
+// wall time from the window-closing ingest to the subscriber holding the
+// results, in-process callback vs. a pushed STREAM_ROWS frame over TCP.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "workloads.h"
+
+namespace streamrel::bench {
+namespace {
+
+constexpr int64_t kRpcTimeout = 30'000'000;
+
+enum Path { kInProcess = 0, kLoopback = 1 };
+
+/// Bulk ingest: push `kTotalRows` of the click workload per iteration,
+/// either straight into the engine or through the wire protocol.
+void BM_T9IngestThroughput(benchmark::State& state) {
+  const Path path = static_cast<Path>(state.range(0));
+  const size_t batch_rows = static_cast<size_t>(state.range(1));
+  constexpr int64_t kTotalRows = 16384;
+
+  engine::Database db;
+  Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+  // A real consumer, so ingest does CQ work on both paths.
+  Check(db.CreateContinuousQuery(
+              "counts",
+              "SELECT url, count(*) FROM url_stream "
+              "<VISIBLE '1 minute'> GROUP BY url")
+            .status(),
+        "create cq");
+
+  net::Server server(&db);
+  net::Client client;
+  if (path == kLoopback) {
+    Check(server.Start(), "server start");
+    Check(client.Connect("127.0.0.1", server.port(), kRpcTimeout),
+          "connect");
+  }
+
+  UrlClickWorkload workload(/*url_cardinality=*/500, /*rows_per_sec=*/2000);
+  int64_t rows_done = 0;
+  for (auto _ : state) {
+    int64_t remaining = kTotalRows;
+    while (remaining > 0) {
+      const size_t n = static_cast<size_t>(std::min<int64_t>(
+          remaining, static_cast<int64_t>(batch_rows)));
+      std::vector<Row> batch = workload.NextBatch(n);
+      if (path == kLoopback) {
+        Check(client.IngestBatch("url_stream", batch, INT64_MIN,
+                                 kRpcTimeout),
+              "net ingest");
+      } else {
+        Check(db.Ingest("url_stream", batch), "ingest");
+      }
+      remaining -= static_cast<int64_t>(n);
+      rows_done += static_cast<int64_t>(n);
+    }
+  }
+  state.SetItemsProcessed(rows_done);
+
+  if (path == kLoopback) {
+    const net::NetStats stats = server.stats();
+    state.counters["wire_bytes_per_row"] =
+        static_cast<double>(stats.bytes_in) /
+        static_cast<double>(rows_done);
+    client.Close();
+    server.Drain();
+  }
+}
+BENCHMARK(BM_T9IngestThroughput)
+    ->ArgsProduct({{kInProcess, kLoopback}, {16, 256, 2048}})
+    ->ArgNames({"net", "batch"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Control-plane round trip: PING is the wire-protocol floor (frame
+/// encode + two loopback hops + dispatch, no SQL); the QUERY variant
+/// carries SHOW STATS through the parser and stats snapshot on both
+/// paths, so the in-process/loopback gap is the protocol tax alone.
+void BM_T9RequestLatency(benchmark::State& state) {
+  const Path path = static_cast<Path>(state.range(0));
+  const bool ping_only = state.range(1) != 0;
+
+  engine::Database db;
+  Check(db.Execute(UrlClickWorkload::StreamDdl()).status(), "ddl");
+  net::Server server(&db);
+  net::Client client;
+  if (path == kLoopback) {
+    Check(server.Start(), "server start");
+    Check(client.Connect("127.0.0.1", server.port(), kRpcTimeout),
+          "connect");
+  }
+
+  for (auto _ : state) {
+    if (ping_only) {
+      Check(client.Ping(kRpcTimeout), "ping");
+    } else if (path == kLoopback) {
+      Check(client.Query("SHOW STATS", kRpcTimeout).status(), "net query");
+    } else {
+      Check(db.Execute("SHOW STATS").status(), "query");
+    }
+  }
+
+  if (path == kLoopback) {
+    client.Close();
+    server.Drain();
+  }
+}
+BENCHMARK(BM_T9RequestLatency)
+    ->Args({kInProcess, 0})
+    ->Args({kLoopback, 0})
+    ->Args({kLoopback, 1})  // PING has no in-process analogue
+    ->ArgNames({"net", "ping"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// Push latency: each iteration ingests one batch whose system time
+/// closes the previous one-second window, then waits until the
+/// subscriber holds that window's results — a direct callback under the
+/// engine mutex in-process, a STREAM_ROWS frame over loopback.
+void BM_T9PushLatency(benchmark::State& state) {
+  const Path path = static_cast<Path>(state.range(0));
+  constexpr int kRowsPerWindow = 64;
+
+  engine::Database db;
+  Check(db.Execute("CREATE STREAM ticks (v bigint, ts timestamp "
+                   "CQTIME SYSTEM)")
+            .status(),
+        "ddl");
+  Check(db.Execute("CREATE STREAM tick_counts AS SELECT count(*) "
+                   "FROM ticks <VISIBLE '1 second'>")
+            .status(),
+        "derived stream");
+
+  net::Server server(&db);
+  net::Client client;
+  int64_t delivered_close = 0;
+  engine::Database::SubscriptionTicket ticket;
+  if (path == kLoopback) {
+    Check(server.Start(), "server start");
+    Check(client.Connect("127.0.0.1", server.port(), kRpcTimeout),
+          "connect");
+    Check(client.Subscribe("tick_counts", kRpcTimeout), "subscribe");
+  } else {
+    ticket = CheckResult(
+        db.Subscribe("tick_counts",
+                     [&delivered_close](int64_t close,
+                                        const std::vector<Row>& rows) {
+                       (void)rows;
+                       delivered_close = close;
+                       return Status::OK();
+                     }),
+        "subscribe");
+  }
+
+  std::vector<Row> batch;
+  for (int i = 0; i < kRowsPerWindow; ++i) {
+    batch.push_back({Value::Int64(i), Value::Null()});
+  }
+  int64_t window = 0;
+  // Prime: the first batch opens a window but closes nothing.
+  if (path == kLoopback) {
+    Check(client.IngestBatch("ticks", batch, window * kSec, kRpcTimeout),
+          "prime");
+  } else {
+    Check(db.Ingest("ticks", batch, window * kSec), "prime");
+  }
+
+  for (auto _ : state) {
+    ++window;
+    if (path == kLoopback) {
+      Check(client.IngestBatch("ticks", batch, window * kSec, kRpcTimeout),
+            "ingest");
+      net::Push push =
+          CheckResult(client.NextPush(kRpcTimeout), "next push");
+      if (push.rows.size() != 1) abort();
+    } else {
+      delivered_close = 0;
+      Check(db.Ingest("ticks", batch, window * kSec), "ingest");
+      if (delivered_close == 0) abort();  // delivery is synchronous
+    }
+  }
+
+  if (path == kLoopback) {
+    Check(client.Unsubscribe("tick_counts", kRpcTimeout), "unsubscribe");
+    client.Close();
+    server.Drain();
+  } else {
+    Check(db.Unsubscribe(ticket), "unsubscribe");
+  }
+}
+BENCHMARK(BM_T9PushLatency)
+    ->Arg(kInProcess)
+    ->Arg(kLoopback)
+    ->ArgNames({"net"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace streamrel::bench
+
+BENCHMARK_MAIN();

@@ -91,7 +91,8 @@ int main() {
             "sales_now",
             [&client](int64_t close, const std::vector<Row>& rows) {
               return client.OnPush(close, rows);
-            }),
+            })
+            .status(),
         "subscribe");
 
   auto minute_of_orders = [&](int minute, int per_region) {

@@ -1,0 +1,132 @@
+// Remote client: the network front-end end to end.
+//
+// By default this example is fully self-contained: it boots an in-process
+// Database, wraps it in the TCP server on an ephemeral port, and then
+// talks to it ONLY through the wire protocol — DDL over QUERY frames, a
+// derived stream, a live SUBSCRIBE whose window-close results are pushed
+// back over the socket, binary INGEST_BATCH traffic, and finally
+// SHOW STATS FOR NET to see what the server counted.
+//
+// With `--connect HOST PORT` it skips the embedded server and drives an
+// external streamrel-server instead (tests/server_smoke.sh uses this).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "engine/database.h"
+#include "net/client.h"
+#include "net/server.h"
+
+using streamrel::Row;
+using streamrel::Value;
+using streamrel::kMicrosPerSecond;
+
+namespace {
+
+void Check(const streamrel::Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    exit(1);
+  }
+}
+
+template <typename T>
+T CheckResult(streamrel::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    fprintf(stderr, "FATAL %s: %s\n", what,
+            result.status().ToString().c_str());
+    exit(1);
+  }
+  return result.TakeValue();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  bool external = false;
+  if (argc == 4 && std::string(argv[1]) == "--connect") {
+    external = true;
+    host = argv[2];
+    port = static_cast<uint16_t>(std::atoi(argv[3]));
+  } else if (argc != 1) {
+    fprintf(stderr, "usage: %s [--connect HOST PORT]\n", argv[0]);
+    return 2;
+  }
+
+  // Embedded server (default mode): --port 0 picks an ephemeral port.
+  streamrel::engine::Database db;
+  streamrel::net::Server server(&db);
+  if (!external) {
+    Check(server.Start(), "server start");
+    port = server.port();
+    printf("embedded server on %s:%u\n", host.c_str(), port);
+  }
+
+  streamrel::net::Client client;
+  Check(client.Connect(host, port), "connect");
+  Check(client.Ping(), "ping");
+
+  // Everything below goes over the wire: a clicks stream, a per-minute
+  // per-URL count as a derived stream, and a live subscription to it.
+  CheckResult(client.Query("CREATE STREAM clicks (url varchar, "
+                           "ts timestamp CQTIME SYSTEM)"),
+              "create stream");
+  CheckResult(client.Query("CREATE STREAM url_counts AS "
+                           "SELECT url, count(*) FROM clicks "
+                           "<VISIBLE '1 minute'> GROUP BY url"),
+              "create derived stream");
+  Check(client.Subscribe("url_counts"), "subscribe");
+  printf("subscribed to url_counts\n");
+
+  // Three minutes of synthetic traffic through the binary ingest path.
+  const char* urls[] = {"/home", "/cart", "/checkout"};
+  for (int minute = 0; minute < 3; ++minute) {
+    std::vector<Row> rows;
+    for (int i = 0; i < 12; ++i) {
+      rows.push_back(
+          {Value::String(urls[i % 3]), Value::Null()});
+    }
+    const int64_t t = (minute * 60 + 10) * kMicrosPerSecond;
+    Check(client.IngestBatch("clicks", rows, t), "ingest");
+  }
+  // Push the watermark past the last minute so its window closes too.
+  Check(client.IngestBatch("clicks", {{Value::String("/home"), Value::Null()}},
+                           200 * kMicrosPerSecond),
+        "ingest (watermark)");
+
+  // The three closed windows arrive as pushed STREAM_ROWS frames.
+  for (int window = 0; window < 3; ++window) {
+    streamrel::net::Push push =
+        CheckResult(client.NextPush(), "next push");
+    printf("window close @%lds from '%s':\n",
+           static_cast<long>(push.close / kMicrosPerSecond),
+           push.source.c_str());
+    for (const Row& row : push.rows) {
+      printf("  %s\n", streamrel::RowToString(row).c_str());
+    }
+  }
+
+  // What the server saw, via the NET stats scope.
+  streamrel::net::RowSet stats =
+      CheckResult(client.Query("SHOW STATS FOR NET"), "show stats");
+  printf("SHOW STATS FOR NET (%zu rows), highlights:\n", stats.rows.size());
+  for (const Row& row : stats.rows) {
+    const std::string& metric = row[2].AsString();
+    if (metric == "ingest_batch" || metric == "pushes_admitted" ||
+        metric == "connections_accepted") {
+      printf("  %s.%s = %ld\n", row[1].AsString().c_str(), metric.c_str(),
+             static_cast<long>(row[3].AsInt64()));
+    }
+  }
+
+  Check(client.Unsubscribe("url_counts"), "unsubscribe");
+  client.Close();
+  if (!external) server.Drain();
+  printf("remote client done\n");
+  return 0;
+}

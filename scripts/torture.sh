@@ -12,8 +12,10 @@
 # suite (`overload`) drives every admission policy at parallelism 1/2/4
 # over a forced memory budget plus the sink-retry and quarantine fault
 # drills; exact accounting and oracle equivalence are asserted while
-# ASan+UBSan watch the shed/requeue paths. Extra arguments are forwarded
-# to ctest, e.g.
+# ASan+UBSan watch the shed/requeue paths. The network suite (`net`)
+# exercises the TCP front-end — corrupt frames, slow-consumer policies,
+# net.* fault drills — with the sanitizers watching the event loop and
+# per-connection send queues. Extra arguments are forwarded to ctest, e.g.
 #   scripts/torture.sh --verbose
 #
 # Reuses sanitize.sh's build-asan/ tree, so a prior sanitize run makes this
@@ -33,4 +35,4 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
 cd "$BUILD_DIR"
-ctest --output-on-failure -L "torture|overload" "$@"
+ctest --output-on-failure -L "torture|overload|net" "$@"

@@ -68,8 +68,9 @@ struct FaultPolicy {
 /// sneak another durable write in after the crash instant.
 ///
 /// Known points: wal.append, wal.sync, disk.write, channel.sink,
-/// checkpoint.write, shard.enqueue. The registry is open — arming an
-/// unknown name is allowed (it just never fires).
+/// checkpoint.write, shard.enqueue, net.accept, net.read, net.write. The
+/// registry is open — arming an unknown name is allowed (it just never
+/// fires).
 ///
 /// Thread-safe; fully deterministic for a given seed and hit sequence.
 class FaultInjector {

@@ -40,8 +40,9 @@ class MemoryGovernor {
     kAggregator,     // SliceAggregator group keys + states
     kShardQueue,     // in-flight ShardChunk rows
     kReorder,        // ReorderBuffer pending rows
+    kNetSendQueue,   // frames queued for network subscribers
   };
-  static constexpr int kNumAccounts = 4;
+  static constexpr int kNumAccounts = 5;
 
   /// 0 = unlimited.
   void SetBudget(int64_t bytes) {

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Aborted";
     case StatusCode::kExecutionError:
       return "Execution error";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

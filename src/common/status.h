@@ -23,6 +23,7 @@ enum class StatusCode {
   kIoError,           // simulated-disk / WAL failure
   kAborted,           // transaction aborted
   kExecutionError,    // runtime evaluation error (e.g. division by zero)
+  kUnavailable,       // network peer unreachable / deadline expired
 };
 
 /// Returns a short human-readable name for `code` (e.g. "Invalid argument").
@@ -62,6 +63,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));

@@ -61,6 +61,14 @@ Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
       return ExecuteSetFault(static_cast<const sql::SetFaultStmt&>(stmt));
     case sql::StatementKind::kShowFaults:
       return ExecuteShowFaults(static_cast<const sql::ShowFaultsStmt&>(stmt));
+    case sql::StatementKind::kSubscribe:
+    case sql::StatementKind::kUnsubscribe:
+      // Push delivery needs a connection to push to; the in-process API
+      // is Database::Subscribe. Network sessions intercept these before
+      // Execute.
+      return Status::InvalidArgument(
+          "SUBSCRIBE/UNSUBSCRIBE is only available on a network session "
+          "(connect through streamrel-server)");
     case sql::StatementKind::kCreateTable:
       return ExecuteCreateTable(
           static_cast<const sql::CreateTableStmt&>(stmt));
@@ -535,7 +543,58 @@ EngineStats Database::StatsSnapshot() {
   metrics->GetGauge("recovery", "faults", "fires")->Set(faults.fires);
   metrics->GetGauge("recovery", "faults", "crashes")->Set(faults.crashes);
   stats.metrics = metrics->Snapshot();
+  for (const auto& [key, provider] : stats_providers_) {
+    provider(&stats.metrics);
+  }
   return stats;
+}
+
+Result<Database::SubscriptionTicket> Database::Subscribe(
+    const std::string& name, stream::CqCallback callback) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  SubscriptionTicket ticket;
+  ticket.object = ToLower(name);
+  if (stream::ContinuousQuery* cq = runtime_.GetCq(name)) {
+    ticket.is_cq = true;
+    ticket.id = cq->AddCallback(std::move(callback));
+    ticket.schema = cq->output_schema();
+    ticket.source_stream = ToLower(cq->stream_name());
+    return ticket;
+  }
+  const catalog::StreamInfo* info = catalog_.GetStream(name);
+  if (info == nullptr) {
+    return Status::NotFound("no continuous query or stream named '" + name +
+                            "'");
+  }
+  ticket.is_cq = false;
+  ASSIGN_OR_RETURN(ticket.id,
+                   runtime_.SubscribeStream(name, std::move(callback)));
+  ticket.schema = info->schema;
+  ticket.source_stream = ticket.object;
+  return ticket;
+}
+
+Status Database::Unsubscribe(const SubscriptionTicket& ticket) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  if (ticket.is_cq) {
+    // The CQ may have been dropped (its callbacks died with it).
+    if (stream::ContinuousQuery* cq = runtime_.GetCq(ticket.object)) {
+      cq->RemoveCallback(ticket.id);
+    }
+    return Status::OK();
+  }
+  return runtime_.UnsubscribeStream(ticket.object, ticket.id);
+}
+
+void Database::RegisterStatsProvider(const std::string& key,
+                                     StatsProvider provider) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  stats_providers_[key] = std::move(provider);
+}
+
+void Database::UnregisterStatsProvider(const std::string& key) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  stats_providers_.erase(key);
 }
 
 Result<QueryResult> Database::ExecuteShowStats(
@@ -574,6 +633,12 @@ Result<QueryResult> Database::ExecuteShowStats(
       // admission counters. No object-name filter.
       filter_scope = "overload";
       break;
+    case Target::kNet:
+      // Whole network-front-end scope (filled by the server's stats
+      // provider; empty when no server is attached). No object-name
+      // filter.
+      filter_scope = "net";
+      break;
   }
   EngineStats stats = StatsSnapshot();
   QueryResult result;
@@ -582,9 +647,11 @@ Result<QueryResult> Database::ExecuteShowStats(
                           Column("metric", DataType::kString),
                           Column("value", DataType::kInt64)});
   for (const stream::MetricSample& sample : stats.metrics) {
+    const bool whole_scope = stmt.target == Target::kOverload ||
+                             stmt.target == Target::kNet;
     if (!filter_scope.empty() &&
         (sample.scope != filter_scope ||
-         (stmt.target != Target::kOverload && sample.name != filter_name))) {
+         (!whole_scope && sample.name != filter_name))) {
       continue;
     }
     // Timestamp gauges report micros; INT64_MIN means "never set" and

@@ -1,6 +1,8 @@
 #ifndef STREAMREL_ENGINE_DATABASE_H_
 #define STREAMREL_ENGINE_DATABASE_H_
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -127,6 +129,39 @@ class Database {
   /// complete metrics snapshot. The struct-API twin of `SHOW STATS`.
   EngineStats StatsSnapshot();
 
+  // --- live subscriptions (the engine side of SUBSCRIBE TO) -----------------
+
+  /// Handle for a live subscription created by Subscribe(); pass it back
+  /// to Unsubscribe() to detach.
+  struct SubscriptionTicket {
+    bool is_cq = false;
+    std::string object;  // lowercased CQ or stream name
+    int64_t id = 0;      // runtime callback id
+    Schema schema;       // delivered row schema (CQ output / stream schema)
+    /// Lowercased source stream (the object itself, or the CQ's input);
+    /// its overload policy governs slow network consumers.
+    std::string source_stream;
+  };
+
+  /// Attaches `callback` to a CQ's window-close results or a stream's
+  /// published batches (CQ names win when both exist). The callback fires
+  /// under the engine mutex on whatever thread drives ingest; it must not
+  /// block indefinitely and must not fail the engine (return OK).
+  Result<SubscriptionTicket> Subscribe(const std::string& name,
+                                       stream::CqCallback callback);
+
+  /// Detaches a subscription; a ticket whose object has since been
+  /// dropped is a no-op.
+  Status Unsubscribe(const SubscriptionTicket& ticket);
+
+  /// Extra metric sources folded into StatsSnapshot() (the network server
+  /// publishes its `net` scope this way). Providers run under the engine
+  /// mutex; re-registering a key replaces the provider.
+  using StatsProvider =
+      std::function<void(std::vector<stream::MetricSample>*)>;
+  void RegisterStatsProvider(const std::string& key, StatsProvider provider);
+  void UnregisterStatsProvider(const std::string& key);
+
  private:
   Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
   Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt);
@@ -174,6 +209,7 @@ class Database {
   stream::StreamRuntime runtime_;
   int64_t now_micros_ = 0;
   std::optional<storage::TxnId> active_txn_;
+  std::map<std::string, StatsProvider> stats_providers_;
   // Recovery counters surfaced under the `recovery` scope in SHOW STATS.
   int64_t recoveries_ = 0;
   int64_t last_replay_rows_ = 0;

@@ -1,0 +1,103 @@
+#ifndef STREAMREL_NET_CLIENT_H_
+#define STREAMREL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace streamrel::net {
+
+/// A window-close batch pushed by the server for an active subscription.
+struct Push {
+  std::string source;  // subscribed CQ or stream name
+  int64_t close = 0;   // window-close watermark (micros)
+  std::vector<Row> rows;
+};
+
+/// Synchronous streamrel wire-protocol client. One socket, one outstanding
+/// request at a time; pushed STREAM_ROWS frames that arrive while waiting
+/// for a response are buffered and handed out by NextPush().
+///
+/// Every blocking call takes a deadline-based timeout in microseconds;
+/// a timeout returns Status::Unavailable and leaves the connection usable
+/// unless the failure was a socket error (then the client is closed).
+///
+/// Not thread-safe: use one Client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      next_request_id_ = other.next_request_id_;
+      read_buf_ = std::move(other.read_buf_);
+      read_off_ = other.read_off_;
+      pending_pushes_ = std::move(other.pending_pushes_);
+    }
+    return *this;
+  }
+
+  /// Connects to host:port; fails with Unavailable after `timeout_micros`.
+  Status Connect(const std::string& host, uint16_t port,
+                 int64_t timeout_micros = 5'000'000);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Executes one or more ';'-separated SQL statements server-side and
+  /// returns the last statement's result.
+  Result<RowSet> Query(const std::string& sql,
+                       int64_t timeout_micros = 5'000'000);
+
+  /// Pushes ordered rows into a raw stream (binary path — no SQL parse).
+  /// Pass `system_time` for CQTIME SYSTEM streams.
+  Status IngestBatch(const std::string& stream, const std::vector<Row>& rows,
+                     int64_t system_time = INT64_MIN,
+                     int64_t timeout_micros = 5'000'000);
+
+  /// Subscribes to a CQ's window-close results or a stream's published
+  /// batches; results arrive via NextPush().
+  Status Subscribe(const std::string& name,
+                   int64_t timeout_micros = 5'000'000);
+  Status Unsubscribe(const std::string& name,
+                     int64_t timeout_micros = 5'000'000);
+
+  /// Liveness round-trip.
+  Status Ping(int64_t timeout_micros = 5'000'000);
+
+  /// Returns the next pushed subscription batch, waiting up to the
+  /// timeout; Unavailable if none arrives in time.
+  Result<Push> NextPush(int64_t timeout_micros = 5'000'000);
+
+ private:
+  /// Sends `request` and waits for the response frame with the same
+  /// request id, buffering any pushes that arrive in between.
+  Result<Frame> Roundtrip(const Frame& request, int64_t timeout_micros);
+  Status SendFrame(const Frame& frame, int64_t deadline_micros);
+  /// Reads until one complete frame is decoded or the deadline passes.
+  Result<Frame> ReadFrame(int64_t deadline_micros);
+  Status FillReadBuffer(int64_t deadline_micros);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string read_buf_;
+  size_t read_off_ = 0;
+  std::deque<Push> pending_pushes_;
+};
+
+}  // namespace streamrel::net
+
+#endif  // STREAMREL_NET_CLIENT_H_

@@ -1,0 +1,296 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace streamrel::net {
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kQuery:
+      return "QUERY";
+    case FrameType::kIngestBatch:
+      return "INGEST_BATCH";
+    case FrameType::kSubscribe:
+      return "SUBSCRIBE";
+    case FrameType::kUnsubscribe:
+      return "UNSUBSCRIBE";
+    case FrameType::kPing:
+      return "PING";
+    case FrameType::kRowSet:
+      return "ROWSET";
+    case FrameType::kStreamRows:
+      return "STREAM_ROWS";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kAck:
+      return "ACK";
+  }
+  return "?";
+}
+
+bool IsRequestType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kQuery) &&
+         type <= static_cast<uint8_t>(FrameType::kPing);
+}
+
+bool IsResponseType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kRowSet) &&
+         type <= static_cast<uint8_t>(FrameType::kAck);
+}
+
+uint32_t Fnv1a(const char* data, size_t n) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(uint64_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutI64(int64_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutString(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+Status GetU32(const std::string& data, size_t* offset, uint32_t* v) {
+  if (*offset + sizeof(*v) > data.size()) {
+    return Status::IoError("truncated frame u32");
+  }
+  memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return Status::OK();
+}
+Status GetI64(const std::string& data, size_t* offset, int64_t* v) {
+  if (*offset + sizeof(*v) > data.size()) {
+    return Status::IoError("truncated frame i64");
+  }
+  memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return Status::OK();
+}
+Status GetString(const std::string& data, size_t* offset, std::string* s) {
+  uint32_t len;
+  RETURN_IF_ERROR(GetU32(data, offset, &len));
+  if (*offset + len > data.size()) {
+    return Status::IoError("truncated frame string payload");
+  }
+  *s = data.substr(*offset, len);
+  *offset += len;
+  return Status::OK();
+}
+
+void PutRows(const std::vector<Row>& rows, std::string* out) {
+  PutU32(static_cast<uint32_t>(rows.size()), out);
+  for (const Row& row : rows) SerializeRow(row, out);
+}
+
+Status GetRows(const std::string& data, size_t* offset,
+               std::vector<Row>* rows) {
+  uint32_t n;
+  RETURN_IF_ERROR(GetU32(data, offset, &n));
+  rows->clear();
+  rows->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(Row row, DeserializeRow(data, offset));
+    rows->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+bool IsKnownType(uint8_t type) {
+  return IsRequestType(type) || IsResponseType(type);
+}
+
+}  // namespace
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  std::string payload;
+  payload.reserve(kFramePrefixBytes + frame.body.size());
+  payload.push_back(static_cast<char>(frame.type));
+  PutU64(frame.request_id, &payload);
+  payload.append(frame.body);
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  PutU32(Fnv1a(payload.data(), payload.size()), out);
+  out->append(payload);
+}
+
+DecodeStatus TryDecodeFrame(const std::string& buf, size_t* offset,
+                            Frame* frame, std::string* error) {
+  const size_t avail = buf.size() - *offset;
+  if (avail < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  uint32_t len, checksum;
+  size_t pos = *offset;
+  memcpy(&len, buf.data() + pos, sizeof(len));
+  memcpy(&checksum, buf.data() + pos + sizeof(len), sizeof(checksum));
+  if (len < kFramePrefixBytes || len > kMaxFramePayload) {
+    if (error != nullptr) {
+      *error = "frame payload length " + std::to_string(len) +
+               " out of range";
+    }
+    return DecodeStatus::kCorrupt;
+  }
+  if (avail < kFrameHeaderBytes + len) return DecodeStatus::kNeedMore;
+  const char* payload = buf.data() + pos + kFrameHeaderBytes;
+  if (Fnv1a(payload, len) != checksum) {
+    if (error != nullptr) *error = "frame checksum mismatch";
+    return DecodeStatus::kCorrupt;
+  }
+  const uint8_t type = static_cast<uint8_t>(payload[0]);
+  if (!IsKnownType(type)) {
+    if (error != nullptr) {
+      *error = "unknown frame type " + std::to_string(type);
+    }
+    return DecodeStatus::kCorrupt;
+  }
+  frame->type = static_cast<FrameType>(type);
+  memcpy(&frame->request_id, payload + 1, sizeof(frame->request_id));
+  frame->body.assign(payload + kFramePrefixBytes, len - kFramePrefixBytes);
+  *offset += kFrameHeaderBytes + len;
+  return DecodeStatus::kFrame;
+}
+
+// --- request bodies --------------------------------------------------------
+
+std::string EncodeQueryBody(const std::string& sql) {
+  std::string out;
+  PutString(sql, &out);
+  return out;
+}
+
+Result<std::string> DecodeQueryBody(const std::string& body) {
+  size_t offset = 0;
+  std::string sql;
+  RETURN_IF_ERROR(GetString(body, &offset, &sql));
+  return sql;
+}
+
+std::string EncodeIngestBody(const IngestBatchRequest& req) {
+  std::string out;
+  PutString(req.stream, &out);
+  PutI64(req.system_time, &out);
+  PutRows(req.rows, &out);
+  return out;
+}
+
+Result<IngestBatchRequest> DecodeIngestBody(const std::string& body) {
+  size_t offset = 0;
+  IngestBatchRequest req;
+  RETURN_IF_ERROR(GetString(body, &offset, &req.stream));
+  RETURN_IF_ERROR(GetI64(body, &offset, &req.system_time));
+  RETURN_IF_ERROR(GetRows(body, &offset, &req.rows));
+  return req;
+}
+
+std::string EncodeNameBody(const std::string& name) {
+  std::string out;
+  PutString(name, &out);
+  return out;
+}
+
+Result<std::string> DecodeNameBody(const std::string& body) {
+  size_t offset = 0;
+  std::string name;
+  RETURN_IF_ERROR(GetString(body, &offset, &name));
+  return name;
+}
+
+// --- response bodies -------------------------------------------------------
+
+std::string EncodeRowSetBody(const RowSet& rowset) {
+  std::string out;
+  PutString(rowset.message, &out);
+  PutU32(static_cast<uint32_t>(rowset.schema.num_columns()), &out);
+  for (const Column& col : rowset.schema.columns()) {
+    PutString(col.name, &out);
+    out.push_back(static_cast<char>(col.type));
+  }
+  PutRows(rowset.rows, &out);
+  return out;
+}
+
+Result<RowSet> DecodeRowSetBody(const std::string& body) {
+  size_t offset = 0;
+  RowSet rowset;
+  RETURN_IF_ERROR(GetString(body, &offset, &rowset.message));
+  uint32_t ncols;
+  RETURN_IF_ERROR(GetU32(body, &offset, &ncols));
+  std::vector<Column> columns;
+  columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    Column col;
+    RETURN_IF_ERROR(GetString(body, &offset, &col.name));
+    if (offset >= body.size()) {
+      return Status::IoError("truncated rowset column type");
+    }
+    col.type = static_cast<DataType>(body[offset]);
+    ++offset;
+    columns.push_back(std::move(col));
+  }
+  rowset.schema = Schema(std::move(columns));
+  RETURN_IF_ERROR(GetRows(body, &offset, &rowset.rows));
+  return rowset;
+}
+
+std::string EncodeStreamRowsBody(const StreamRowsBody& batch) {
+  std::string out;
+  PutString(batch.source, &out);
+  PutI64(batch.close, &out);
+  PutRows(batch.rows, &out);
+  return out;
+}
+
+Result<StreamRowsBody> DecodeStreamRowsBody(const std::string& body) {
+  size_t offset = 0;
+  StreamRowsBody batch;
+  RETURN_IF_ERROR(GetString(body, &offset, &batch.source));
+  RETURN_IF_ERROR(GetI64(body, &offset, &batch.close));
+  RETURN_IF_ERROR(GetRows(body, &offset, &batch.rows));
+  return batch;
+}
+
+std::string EncodeErrorBody(const Status& status) {
+  std::string out;
+  out.push_back(static_cast<char>(status.code()));
+  PutString(status.message(), &out);
+  return out;
+}
+
+Status DecodeErrorBody(const std::string& body) {
+  if (body.empty()) return Status::IoError("truncated error body");
+  StatusCode code = static_cast<StatusCode>(body[0]);
+  size_t offset = 1;
+  std::string message;
+  RETURN_IF_ERROR(GetString(body, &offset, &message));
+  if (code == StatusCode::kOk) {
+    // An ERROR frame must carry an error; a bogus code still surfaces as
+    // one rather than silently becoming success.
+    return Status(StatusCode::kInternal, "malformed error frame: " + message);
+  }
+  return Status(code, std::move(message));
+}
+
+std::string EncodeAckBody(const std::string& message) {
+  std::string out;
+  PutString(message, &out);
+  return out;
+}
+
+Result<std::string> DecodeAckBody(const std::string& body) {
+  size_t offset = 0;
+  std::string message;
+  RETURN_IF_ERROR(GetString(body, &offset, &message));
+  return message;
+}
+
+}  // namespace streamrel::net

@@ -1,0 +1,117 @@
+#ifndef STREAMREL_NET_PROTOCOL_H_
+#define STREAMREL_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace streamrel::net {
+
+/// Wire frame types. Requests flow client -> server, responses server ->
+/// client; kStreamRows is the push side of SUBSCRIBE and may arrive at any
+/// time, interleaved with responses.
+enum class FrameType : uint8_t {
+  // Requests.
+  kQuery = 1,        // body: string sql
+  kIngestBatch = 2,  // body: string stream, i64 system_time, rows
+  kSubscribe = 3,    // body: string stream-or-cq name
+  kUnsubscribe = 4,  // body: string stream-or-cq name
+  kPing = 5,         // body: empty
+  // Responses.
+  kRowSet = 16,      // body: string message, schema, rows
+  kStreamRows = 17,  // body: string source, i64 close, rows (pushed)
+  kError = 18,       // body: u8 status code, string message
+  kAck = 19,         // body: string message
+};
+
+const char* FrameTypeName(FrameType type);
+bool IsRequestType(uint8_t type);
+bool IsResponseType(uint8_t type);
+
+/// One decoded frame: the payload past the fixed (type, request_id) prefix.
+/// Responses echo the request's id; pushed kStreamRows frames carry the id
+/// of the SUBSCRIBE that created the subscription.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::string body;
+};
+
+/// Frame layout on the wire (mirrors the WAL's framing convention):
+///   u32 payload length | u32 FNV-1a checksum of payload | payload
+/// where payload = u8 frame type | u64 request id | body.
+constexpr size_t kFrameHeaderBytes = 2 * sizeof(uint32_t);
+constexpr size_t kFramePrefixBytes = 1 + sizeof(uint64_t);
+/// Upper bound on one frame's payload; a length beyond this is treated as
+/// a corrupt (or hostile) stream, not an allocation request.
+constexpr size_t kMaxFramePayload = 64u << 20;
+
+/// Same function and constants as the WAL's per-record checksum.
+uint32_t Fnv1a(const char* data, size_t n);
+
+void EncodeFrame(const Frame& frame, std::string* out);
+
+enum class DecodeStatus {
+  kFrame,     // one frame decoded; *offset advanced past it
+  kNeedMore,  // buffer holds a valid prefix of a frame; read more bytes
+  kCorrupt,   // checksum mismatch / oversized length / unknown type
+};
+
+/// Tries to decode one frame starting at buf[*offset]. kCorrupt means the
+/// byte stream is unrecoverable (framing is length-prefixed, so a bad
+/// length or checksum desyncs everything after it); `error` says why.
+DecodeStatus TryDecodeFrame(const std::string& buf, size_t* offset,
+                            Frame* frame, std::string* error);
+
+// --- request bodies --------------------------------------------------------
+
+std::string EncodeQueryBody(const std::string& sql);
+Result<std::string> DecodeQueryBody(const std::string& body);
+
+struct IngestBatchRequest {
+  std::string stream;
+  int64_t system_time = INT64_MIN;
+  std::vector<Row> rows;
+};
+std::string EncodeIngestBody(const IngestBatchRequest& req);
+Result<IngestBatchRequest> DecodeIngestBody(const std::string& body);
+
+/// SUBSCRIBE / UNSUBSCRIBE carry just the object name.
+std::string EncodeNameBody(const std::string& name);
+Result<std::string> DecodeNameBody(const std::string& body);
+
+// --- response bodies -------------------------------------------------------
+
+/// A complete query result (the wire twin of engine::QueryResult).
+struct RowSet {
+  std::string message;
+  Schema schema;
+  std::vector<Row> rows;
+};
+std::string EncodeRowSetBody(const RowSet& rowset);
+Result<RowSet> DecodeRowSetBody(const std::string& body);
+
+/// One pushed window-close (or raw-stream) batch.
+struct StreamRowsBody {
+  std::string source;  // subscription name as ACKed
+  int64_t close = 0;
+  std::vector<Row> rows;
+};
+std::string EncodeStreamRowsBody(const StreamRowsBody& batch);
+Result<StreamRowsBody> DecodeStreamRowsBody(const std::string& body);
+
+/// Errors round-trip the engine Status (code + message).
+std::string EncodeErrorBody(const Status& status);
+/// Returns the decoded (non-OK) status carried by an ERROR frame; a
+/// malformed body decodes to an Internal error (still non-OK).
+Status DecodeErrorBody(const std::string& body);
+
+std::string EncodeAckBody(const std::string& message);
+Result<std::string> DecodeAckBody(const std::string& body);
+
+}  // namespace streamrel::net
+
+#endif  // STREAMREL_NET_PROTOCOL_H_

@@ -1,0 +1,794 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/fault_injector.h"
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace streamrel::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedMicros(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+/// Delivery threads poll the consumer's queue at this grain while a
+/// BLOCK-policy push waits for room.
+constexpr int64_t kBlockPollMicros = 200;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Server::Server(engine::Database* db, ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      request_micros_(stream::Histogram::LatencyMicrosBounds()) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (loop_thread_.joinable()) {
+    return Status::InvalidArgument("server already running");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host '" + options_.host + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Errno("bind");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  // --port 0 binds an ephemeral port; read back which one we got so
+  // parallel test runs never collide.
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  &addr_len) < 0) {
+    Status st = Errno("getsockname");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, 64) < 0) {
+    Status st = Errno("listen");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  if (pipe(wake_fds_) < 0) {
+    Status st = Errno("pipe");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  RETURN_IF_ERROR(SetNonBlocking(wake_fds_[0]));
+  RETURN_IF_ERROR(SetNonBlocking(wake_fds_[1]));
+  stop_requested_.store(false);
+  drain_requested_.store(false);
+  running_.store(true, std::memory_order_release);
+  db_->RegisterStatsProvider(
+      "net", [this](std::vector<stream::MetricSample>* samples) {
+        AppendNetStats(samples);
+      });
+  loop_thread_ = std::thread(&Server::Loop, this);
+  return Status::OK();
+}
+
+void Server::Stop() { ShutdownInternal(/*graceful=*/false); }
+
+void Server::Drain() { ShutdownInternal(/*graceful=*/true); }
+
+void Server::ShutdownInternal(bool graceful) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!loop_thread_.joinable()) return;
+  if (graceful) {
+    drain_requested_.store(true);
+  } else {
+    stop_requested_.store(true);
+  }
+  Wake();
+  loop_thread_.join();
+  db_->UnregisterStatsProvider("net");
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) {
+      close(fd);
+      fd = -1;
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::Wake() {
+  if (wake_fds_[1] >= 0) {
+    char byte = 'w';
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void Server::Loop() {
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+  std::vector<pollfd> pfds;
+  std::vector<ConnPtr> polled;
+  while (!stop_requested_.load()) {
+    if (drain_requested_.load() && !draining) {
+      draining = true;
+      drain_deadline = Clock::now() + std::chrono::microseconds(
+                                          options_.drain_timeout_micros);
+      // Stop accepting and stop producing: new connections are refused
+      // and every subscription detaches, so queues only drain from here.
+      if (listen_fd_ >= 0) {
+        close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      for (auto& [fd, conn] : conns_) {
+        for (Subscription& sub : conn->subs) {
+          db_->Unsubscribe(sub.ticket);
+          counters_.subscriptions_active.fetch_sub(1);
+        }
+        conn->subs.clear();
+      }
+    }
+    if (draining) {
+      bool pending = false;
+      for (auto& [fd, conn] : conns_) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->dead && !conn->out.empty()) pending = true;
+      }
+      if (!pending || Clock::now() >= drain_deadline) break;
+    }
+
+    pfds.clear();
+    polled.clear();
+    if (listen_fd_ >= 0 && !draining) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+    }
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    for (auto& [fd, conn] : conns_) {
+      short events = draining ? 0 : POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->out.empty()) events |= POLLOUT;
+      }
+      pfds.push_back({fd, events, 0});
+      polled.push_back(conn);
+    }
+    poll(pfds.data(), pfds.size(), draining ? 5 : 50);
+
+    size_t idx = 0;
+    if (listen_fd_ >= 0 && !draining) {
+      if (pfds[idx].revents & POLLIN) AcceptNew();
+      ++idx;
+    }
+    if (pfds[idx].revents & POLLIN) {
+      char sink[256];
+      while (read(wake_fds_[0], sink, sizeof(sink)) > 0) {
+      }
+    }
+    ++idx;
+    for (size_t c = 0; c < polled.size(); ++c, ++idx) {
+      const ConnPtr& conn = polled[c];
+      const short re = pfds[idx].revents;
+      if (re & POLLOUT) TryFlush(conn);
+      if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+        KillConnection(conn);
+        continue;
+      }
+      if (!draining && (re & POLLIN)) HandleReadable(conn);
+    }
+
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      bool dead;
+      {
+        std::lock_guard<std::mutex> lock(it->second->mu);
+        dead = it->second->dead;
+      }
+      if (dead) {
+        Reap(it->second);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Shutdown: close everything that is left.
+  for (auto& [fd, conn] : conns_) Reap(conn);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::AcceptNew() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient error; poll again
+    }
+    counters_.connections_accepted.fetch_add(1);
+    if (!FaultInjector::Instance().Hit("net.accept").ok()) {
+      close(fd);
+      counters_.connections_closed.fetch_add(1);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      counters_.connections_closed.fetch_add(1);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.so_sndbuf > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                 sizeof(options_.so_sndbuf));
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::HandleReadable(const ConnPtr& conn) {
+  if (!FaultInjector::Instance().Hit("net.read").ok()) {
+    KillConnection(conn);
+    return;
+  }
+  char tmp[64 * 1024];
+  for (;;) {
+    ssize_t n = recv(conn->fd, tmp, sizeof(tmp), 0);
+    if (n > 0) {
+      conn->read_buf.append(tmp, static_cast<size_t>(n));
+      counters_.bytes_in.fetch_add(n);
+      if (static_cast<size_t>(n) < sizeof(tmp)) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      KillConnection(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    KillConnection(conn);
+    return;
+  }
+  for (;;) {
+    Frame frame;
+    std::string error;
+    DecodeStatus ds =
+        TryDecodeFrame(conn->read_buf, &conn->read_off, &frame, &error);
+    if (ds == DecodeStatus::kNeedMore) break;
+    if (ds == DecodeStatus::kCorrupt) {
+      // Length-prefixed framing cannot resync after a bad header: tell
+      // the client why (best effort) and drop the connection. The engine
+      // is untouched.
+      counters_.frames_bad.fetch_add(1);
+      Frame err{FrameType::kError, 0,
+                EncodeErrorBody(Status::IoError("corrupt frame: " + error))};
+      EnqueueResponse(conn, err);
+      KillConnection(conn);
+      return;
+    }
+    DispatchFrame(conn, std::move(frame));
+    bool dead;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      dead = conn->dead;
+    }
+    if (dead) return;
+  }
+  if (conn->read_off > 0) {
+    conn->read_buf.erase(0, conn->read_off);
+    conn->read_off = 0;
+  }
+}
+
+void Server::DispatchFrame(const ConnPtr& conn, Frame frame) {
+  const Clock::time_point start = Clock::now();
+  switch (frame.type) {
+    case FrameType::kQuery: {
+      counters_.frames_query.fetch_add(1);
+      auto sql = DecodeQueryBody(frame.body);
+      if (!sql.ok()) {
+        EnqueueResponse(conn, Frame{FrameType::kError, frame.request_id,
+                                    EncodeErrorBody(sql.status())});
+        break;
+      }
+      DoQuery(conn, frame.request_id, *sql);
+      break;
+    }
+    case FrameType::kIngestBatch:
+      counters_.frames_ingest_batch.fetch_add(1);
+      DoIngest(conn, frame.request_id, frame.body);
+      break;
+    case FrameType::kSubscribe: {
+      counters_.frames_subscribe.fetch_add(1);
+      auto name = DecodeNameBody(frame.body);
+      if (!name.ok()) {
+        EnqueueResponse(conn, Frame{FrameType::kError, frame.request_id,
+                                    EncodeErrorBody(name.status())});
+        break;
+      }
+      DoSubscribe(conn, frame.request_id, *name);
+      break;
+    }
+    case FrameType::kUnsubscribe: {
+      counters_.frames_unsubscribe.fetch_add(1);
+      auto name = DecodeNameBody(frame.body);
+      if (!name.ok()) {
+        EnqueueResponse(conn, Frame{FrameType::kError, frame.request_id,
+                                    EncodeErrorBody(name.status())});
+        break;
+      }
+      DoUnsubscribe(conn, frame.request_id, *name);
+      break;
+    }
+    case FrameType::kPing:
+      counters_.frames_ping.fetch_add(1);
+      EnqueueResponse(conn, Frame{FrameType::kAck, frame.request_id,
+                                  EncodeAckBody("PONG")});
+      break;
+    default:
+      counters_.frames_bad.fetch_add(1);
+      EnqueueResponse(
+          conn,
+          Frame{FrameType::kError, frame.request_id,
+                EncodeErrorBody(Status::InvalidArgument(
+                    std::string("unexpected frame type ") +
+                    FrameTypeName(frame.type) + " from client"))});
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    request_micros_.Record(ElapsedMicros(start));
+  }
+}
+
+void Server::DoQuery(const ConnPtr& conn, uint64_t request_id,
+                     const std::string& sql) {
+  // Intercept SUBSCRIBE / UNSUBSCRIBE: they bind to this connection and
+  // never reach Database::Execute.
+  auto parsed = sql::ParseSql(sql);
+  if (!parsed.ok()) {
+    EnqueueResponse(conn, Frame{FrameType::kError, request_id,
+                                EncodeErrorBody(parsed.status())});
+    return;
+  }
+  bool has_sub = false;
+  for (const auto& stmt : *parsed) {
+    if (stmt->kind() == sql::StatementKind::kSubscribe ||
+        stmt->kind() == sql::StatementKind::kUnsubscribe) {
+      has_sub = true;
+    }
+  }
+  if (has_sub) {
+    if (parsed->size() != 1) {
+      EnqueueResponse(
+          conn, Frame{FrameType::kError, request_id,
+                      EncodeErrorBody(Status::InvalidArgument(
+                          "SUBSCRIBE/UNSUBSCRIBE must be the only statement "
+                          "in its request"))});
+      return;
+    }
+    const sql::Statement& stmt = *(*parsed)[0];
+    if (stmt.kind() == sql::StatementKind::kSubscribe) {
+      DoSubscribe(conn, request_id,
+                  static_cast<const sql::SubscribeStmt&>(stmt).name);
+    } else {
+      DoUnsubscribe(conn, request_id,
+                    static_cast<const sql::UnsubscribeStmt&>(stmt).name);
+    }
+    return;
+  }
+  auto result = db_->Execute(sql);
+  if (!result.ok()) {
+    EnqueueResponse(conn, Frame{FrameType::kError, request_id,
+                                EncodeErrorBody(result.status())});
+    return;
+  }
+  RowSet rowset;
+  rowset.message = result->message;
+  rowset.schema = result->schema;
+  rowset.rows = std::move(result->rows);
+  EnqueueResponse(conn, Frame{FrameType::kRowSet, request_id,
+                              EncodeRowSetBody(rowset)});
+}
+
+void Server::DoIngest(const ConnPtr& conn, uint64_t request_id,
+                      const std::string& body) {
+  auto req = DecodeIngestBody(body);
+  if (!req.ok()) {
+    EnqueueResponse(conn, Frame{FrameType::kError, request_id,
+                                EncodeErrorBody(req.status())});
+    return;
+  }
+  Status st = db_->Ingest(req->stream, req->rows, req->system_time);
+  if (!st.ok()) {
+    EnqueueResponse(conn, Frame{FrameType::kError, request_id,
+                                EncodeErrorBody(st)});
+    return;
+  }
+  EnqueueResponse(
+      conn, Frame{FrameType::kAck, request_id,
+                  EncodeAckBody("INGEST " + std::to_string(req->rows.size()))});
+}
+
+void Server::DoSubscribe(const ConnPtr& conn, uint64_t request_id,
+                         const std::string& name) {
+  const std::string key = ToLower(name);
+  for (const Subscription& sub : conn->subs) {
+    if (ToLower(sub.name) == key) {
+      EnqueueResponse(conn,
+                      Frame{FrameType::kError, request_id,
+                            EncodeErrorBody(Status::AlreadyExists(
+                                "already subscribed to '" + name + "'"))});
+      return;
+    }
+  }
+  // The callback needs the source stream (for the overload policy), which
+  // the ticket reports only after Subscribe returns; it is shared state
+  // filled right below. An unset value means BLOCK — the engine default.
+  auto policy_stream = std::make_shared<std::string>();
+  ConnPtr c = conn;
+  auto ticket = db_->Subscribe(
+      name, [this, c, request_id, name, policy_stream](
+                int64_t close, const std::vector<Row>& rows) {
+        if (c->closed.load(std::memory_order_acquire)) return Status::OK();
+        StreamRowsBody batch;
+        batch.source = name;
+        batch.close = close;
+        batch.rows = rows;
+        Frame frame{FrameType::kStreamRows, request_id,
+                    EncodeStreamRowsBody(batch)};
+        std::string bytes;
+        EncodeFrame(frame, &bytes);
+        EnqueuePush(c, *policy_stream, std::move(bytes));
+        return Status::OK();
+      });
+  if (!ticket.ok()) {
+    EnqueueResponse(conn, Frame{FrameType::kError, request_id,
+                                EncodeErrorBody(ticket.status())});
+    return;
+  }
+  *policy_stream = ticket->source_stream;
+  Subscription sub;
+  sub.ticket = ticket.TakeValue();
+  sub.name = name;
+  sub.policy_stream = *policy_stream;
+  sub.request_id = request_id;
+  conn->subs.push_back(std::move(sub));
+  counters_.subscriptions_active.fetch_add(1);
+  EnqueueResponse(conn, Frame{FrameType::kAck, request_id,
+                              EncodeAckBody("SUBSCRIBED " + name)});
+}
+
+void Server::DoUnsubscribe(const ConnPtr& conn, uint64_t request_id,
+                           const std::string& name) {
+  const std::string key = ToLower(name);
+  for (auto it = conn->subs.begin(); it != conn->subs.end(); ++it) {
+    if (ToLower(it->name) == key) {
+      db_->Unsubscribe(it->ticket);
+      conn->subs.erase(it);
+      counters_.subscriptions_active.fetch_sub(1);
+      EnqueueResponse(conn, Frame{FrameType::kAck, request_id,
+                                  EncodeAckBody("UNSUBSCRIBED " + name)});
+      return;
+    }
+  }
+  EnqueueResponse(conn, Frame{FrameType::kError, request_id,
+                              EncodeErrorBody(Status::NotFound(
+                                  "not subscribed to '" + name + "'"))});
+}
+
+void Server::EnqueueResponse(const ConnPtr& conn, const Frame& frame) {
+  std::string bytes;
+  EncodeFrame(frame, &bytes);
+  const size_t sz = bytes.size();
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead || conn->closed.load()) return;
+    OutFrame out;
+    out.bytes = std::move(bytes);
+    conn->out.push_back(std::move(out));
+    conn->out_bytes += sz;
+  }
+  db_->runtime()->governor()->Add(MemoryGovernor::Account::kNetSendQueue,
+                                  static_cast<int64_t>(sz));
+  TryFlush(conn);
+}
+
+void Server::EnqueuePush(const ConnPtr& conn,
+                         const std::string& policy_stream,
+                         std::string bytes) {
+  counters_.pushes_total.fetch_add(1);
+  MemoryGovernor* governor = db_->runtime()->governor();
+  const size_t sz = bytes.size();
+  const size_t limit = options_.max_send_queue_bytes;
+  // Called under the engine mutex: the policy read is consistent with the
+  // delivery that produced this batch.
+  const stream::OverloadPolicy policy =
+      db_->runtime()->overload_policy(policy_stream);
+
+  auto admit_locked = [&](std::string frame_bytes) {
+    OutFrame out;
+    out.bytes = std::move(frame_bytes);
+    out.is_push = true;
+    conn->out_bytes += sz;
+    conn->out_push_bytes += sz;
+    conn->out.push_back(std::move(out));
+    governor->Add(MemoryGovernor::Account::kNetSendQueue,
+                  static_cast<int64_t>(sz));
+    counters_.pushes_admitted.fetch_add(1);
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(conn->mu);
+    if (conn->dead || conn->closed.load()) {
+      counters_.pushes_disconnected.fetch_add(1);
+      return;
+    }
+    if (conn->out_push_bytes + sz <= limit) {
+      admit_locked(std::move(bytes));
+      lock.unlock();
+      Wake();
+      return;
+    }
+    switch (policy) {
+      case stream::OverloadPolicy::kShedNewest:
+        counters_.pushes_shed.fetch_add(1);
+        return;
+      case stream::OverloadPolicy::kShedOldest: {
+        // Evict queued push frames (oldest first) to make room. A frame
+        // already partially on the wire cannot be evicted — pulling it
+        // would desync the framing.
+        for (auto it = conn->out.begin();
+             it != conn->out.end() && conn->out_push_bytes + sz > limit;) {
+          if (it->is_push && it->offset == 0) {
+            const size_t evicted = it->bytes.size();
+            governor->Release(MemoryGovernor::Account::kNetSendQueue,
+                              static_cast<int64_t>(evicted));
+            conn->out_bytes -= evicted;
+            conn->out_push_bytes -= evicted;
+            // Reclassify: this delivery was admitted, now it is shed.
+            counters_.pushes_admitted.fetch_sub(1);
+            counters_.pushes_shed.fetch_add(1);
+            it = conn->out.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (conn->out_push_bytes + sz <= limit) {
+          admit_locked(std::move(bytes));
+          lock.unlock();
+          Wake();
+        } else {
+          // One frame larger than the whole bound: shed it.
+          counters_.pushes_shed.fetch_add(1);
+        }
+        return;
+      }
+      case stream::OverloadPolicy::kBlock:
+        break;  // wait loop below
+    }
+  }
+  // BLOCK: bounded wait for the consumer to drain. We flush the socket
+  // ourselves — the loop thread may be parked on the engine mutex this
+  // delivery holds, so waiting on it would deadlock.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::microseconds(options_.block_timeout_micros);
+  for (;;) {
+    TryFlush(conn);
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      if (conn->dead || conn->closed.load()) {
+        counters_.pushes_disconnected.fetch_add(1);
+        return;
+      }
+      if (conn->out_push_bytes + sz <= limit) {
+        admit_locked(std::move(bytes));
+        lock.unlock();
+        Wake();
+        return;
+      }
+      if (Clock::now() >= deadline) {
+        // Slow consumer under a lossless policy: disconnecting it is the
+        // only way to keep the engine moving.
+        conn->dead = true;
+        counters_.pushes_disconnected.fetch_add(1);
+        counters_.slow_disconnects.fetch_add(1);
+      } else {
+        lock.unlock();
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(kBlockPollMicros));
+        continue;
+      }
+    }
+    Wake();
+    return;
+  }
+}
+
+void Server::TryFlush(const ConnPtr& conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->fd < 0 || conn->dead) return;
+  if (conn->out.empty()) return;
+  if (!FaultInjector::Instance().Hit("net.write").ok()) {
+    conn->dead = true;
+    conn->broken = true;
+    return;
+  }
+  MemoryGovernor* governor = db_->runtime()->governor();
+  while (!conn->out.empty()) {
+    OutFrame& front = conn->out.front();
+    ssize_t n = send(conn->fd, front.bytes.data() + front.offset,
+                     front.bytes.size() - front.offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      conn->dead = true;
+      conn->broken = true;
+      return;
+    }
+    counters_.bytes_out.fetch_add(n);
+    front.offset += static_cast<size_t>(n);
+    if (front.offset < front.bytes.size()) return;  // socket full mid-frame
+    const size_t sz = front.bytes.size();
+    governor->Release(MemoryGovernor::Account::kNetSendQueue,
+                      static_cast<int64_t>(sz));
+    conn->out_bytes -= sz;
+    if (front.is_push) conn->out_push_bytes -= sz;
+    conn->out.pop_front();
+  }
+}
+
+void Server::KillConnection(const ConnPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->dead = true;
+  }
+  Wake();
+}
+
+void Server::Reap(const ConnPtr& conn) {
+  // Detach subscriptions first so no new pushes arrive, then try to get
+  // any queued error/ack out before the socket goes away.
+  for (Subscription& sub : conn->subs) {
+    db_->Unsubscribe(sub.ticket);
+    counters_.subscriptions_active.fetch_sub(1);
+  }
+  conn->subs.clear();
+  bool broken;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    broken = conn->broken;
+    if (!broken) conn->dead = false;  // let the final flush run
+  }
+  if (!broken) TryFlush(conn);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->dead = true;
+  conn->closed.store(true, std::memory_order_release);
+  MemoryGovernor* governor = db_->runtime()->governor();
+  for (const OutFrame& frame : conn->out) {
+    governor->Release(MemoryGovernor::Account::kNetSendQueue,
+                      static_cast<int64_t>(frame.bytes.size()));
+  }
+  conn->out.clear();
+  conn->out_bytes = 0;
+  conn->out_push_bytes = 0;
+  if (conn->fd >= 0) {
+    close(conn->fd);
+    conn->fd = -1;
+  }
+  counters_.connections_closed.fetch_add(1);
+}
+
+NetStats Server::stats() const {
+  NetStats s;
+  s.connections_accepted = counters_.connections_accepted.load();
+  s.connections_closed = counters_.connections_closed.load();
+  s.connections_active = s.connections_accepted - s.connections_closed;
+  s.bytes_in = counters_.bytes_in.load();
+  s.bytes_out = counters_.bytes_out.load();
+  s.frames_query = counters_.frames_query.load();
+  s.frames_ingest_batch = counters_.frames_ingest_batch.load();
+  s.frames_subscribe = counters_.frames_subscribe.load();
+  s.frames_unsubscribe = counters_.frames_unsubscribe.load();
+  s.frames_ping = counters_.frames_ping.load();
+  s.frames_bad = counters_.frames_bad.load();
+  s.pushes_total = counters_.pushes_total.load();
+  s.pushes_admitted = counters_.pushes_admitted.load();
+  s.pushes_shed = counters_.pushes_shed.load();
+  s.pushes_disconnected = counters_.pushes_disconnected.load();
+  s.slow_disconnects = counters_.slow_disconnects.load();
+  s.subscriptions_active = counters_.subscriptions_active.load();
+  s.send_queue_bytes = db_->runtime()->governor()->held(
+      MemoryGovernor::Account::kNetSendQueue);
+  return s;
+}
+
+void Server::AppendNetStats(
+    std::vector<stream::MetricSample>* samples) const {
+  const NetStats s = stats();
+  auto add = [samples](const std::string& name, const std::string& metric,
+                       int64_t value) {
+    stream::MetricSample sample;
+    sample.scope = "net";
+    sample.name = name;
+    sample.metric = metric;
+    sample.value = value;
+    samples->push_back(std::move(sample));
+  };
+  add("server", "connections_accepted", s.connections_accepted);
+  add("server", "connections_active", s.connections_active);
+  add("server", "connections_closed", s.connections_closed);
+  add("server", "bytes_in", s.bytes_in);
+  add("server", "bytes_out", s.bytes_out);
+  add("frames", "query", s.frames_query);
+  add("frames", "ingest_batch", s.frames_ingest_batch);
+  add("frames", "subscribe", s.frames_subscribe);
+  add("frames", "unsubscribe", s.frames_unsubscribe);
+  add("frames", "ping", s.frames_ping);
+  add("frames", "bad", s.frames_bad);
+  add("subscriptions", "active", s.subscriptions_active);
+  add("subscriptions", "pushes_total", s.pushes_total);
+  add("subscriptions", "pushes_admitted", s.pushes_admitted);
+  add("subscriptions", "pushes_shed", s.pushes_shed);
+  add("subscriptions", "pushes_disconnected", s.pushes_disconnected);
+  add("subscriptions", "slow_disconnects", s.slow_disconnects);
+  add("subscriptions", "send_queue_bytes", s.send_queue_bytes);
+  {
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    add("requests", "request_micros_count", request_micros_.count());
+    add("requests", "request_micros_total", request_micros_.sum());
+    add("requests", "request_micros_min", request_micros_.min());
+    add("requests", "request_micros_max", request_micros_.max());
+    add("requests", "request_micros_p50", request_micros_.Percentile(0.50));
+    add("requests", "request_micros_p95", request_micros_.Percentile(0.95));
+    add("requests", "request_micros_p99", request_micros_.Percentile(0.99));
+  }
+}
+
+}  // namespace streamrel::net

@@ -1,0 +1,217 @@
+#ifndef STREAMREL_NET_SERVER_H_
+#define STREAMREL_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "net/protocol.h"
+#include "stream/metrics.h"
+
+namespace streamrel::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; the bound port is reported by port() (and
+  /// printed by streamrel-server), so parallel test runs never collide.
+  uint16_t port = 0;
+  /// Per-connection bound on queued *push* frames (SUBSCRIBE deliveries).
+  /// Responses are exempt (the client is waiting for them) but still
+  /// charged to the governor's kNetSendQueue account.
+  size_t max_send_queue_bytes = 1u << 20;
+  /// BLOCK slow-consumer policy: how long a delivery waits for the queue
+  /// to drain before the consumer is declared dead and disconnected.
+  int64_t block_timeout_micros = 50'000;
+  /// Graceful drain: how long Drain() keeps flushing send queues before
+  /// closing connections anyway.
+  int64_t drain_timeout_micros = 2'000'000;
+  /// If > 0, SO_SNDBUF for accepted sockets. Tests set this to the kernel
+  /// minimum so a non-reading subscriber back-pressures after a few KB
+  /// instead of after megabytes of kernel buffering.
+  int so_sndbuf = 0;
+};
+
+/// Point-in-time network-front-end counters (the struct twin of
+/// `SHOW STATS FOR NET`).
+///
+/// Slow-consumer accounting invariant, asserted by network_test:
+///   pushes_total == pushes_admitted + pushes_shed + pushes_disconnected
+/// where `admitted` counts deliveries currently accepted into a send
+/// queue — a SHED_OLDEST eviction reclassifies an already-queued delivery
+/// from admitted to shed, keeping the balance exact.
+struct NetStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_closed = 0;
+  int64_t connections_active = 0;
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+  int64_t frames_query = 0;
+  int64_t frames_ingest_batch = 0;
+  int64_t frames_subscribe = 0;
+  int64_t frames_unsubscribe = 0;
+  int64_t frames_ping = 0;
+  int64_t frames_bad = 0;
+  int64_t pushes_total = 0;
+  int64_t pushes_admitted = 0;
+  int64_t pushes_shed = 0;
+  int64_t pushes_disconnected = 0;
+  int64_t slow_disconnects = 0;
+  int64_t subscriptions_active = 0;
+  int64_t send_queue_bytes = 0;
+};
+
+/// The TCP front-end: a poll() event loop on one thread, non-blocking
+/// sockets, per-connection session state. Requests execute on the loop
+/// thread through Database (which serializes on the engine mutex), so a
+/// network session sees exactly the in-process semantics. SUBSCRIBE
+/// attaches a Database::Subscribe callback that fans window-close batches
+/// out to the connection's bounded send queue; the source stream's
+/// overload policy decides whether a slow consumer blocks the delivery,
+/// sheds batches, or is disconnected.
+///
+/// Fault points (FaultInjector): `net.accept`, `net.read`, `net.write` —
+/// a fired fault kills the connection, never the engine.
+class Server {
+ public:
+  explicit Server(engine::Database* db, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event-loop thread. port() is valid
+  /// (and the socket accepting) once this returns OK.
+  Status Start();
+
+  /// Immediate shutdown: close every connection, join the loop thread.
+  void Stop();
+
+  /// Graceful drain (SIGTERM path): stop accepting, flush send queues
+  /// (bounded by drain_timeout_micros), close, join.
+  void Drain();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+
+  NetStats stats() const;
+
+ private:
+  struct OutFrame {
+    std::string bytes;
+    size_t offset = 0;    // bytes already written to the socket
+    bool is_push = false;  // governed by the slow-consumer policy
+  };
+
+  struct Subscription {
+    engine::Database::SubscriptionTicket ticket;
+    std::string name;          // as subscribed (original casing)
+    std::string policy_stream;  // source stream whose overload policy rules
+    uint64_t request_id = 0;    // echoed on pushed frames
+  };
+
+  struct Connection {
+    uint64_t id = 0;
+    /// Guards fd (for writes/close), the send queue, and `dead`.
+    std::mutex mu;
+    int fd = -1;
+    bool dead = false;    // marked for reaping by the loop thread
+    bool broken = false;  // write path failed: skip the final flush
+    std::deque<OutFrame> out;
+    size_t out_bytes = 0;       // total queued bytes (governor-charged)
+    size_t out_push_bytes = 0;  // queued push bytes (policy bound)
+    /// Set once the loop thread has reaped the connection; delivery
+    /// callbacks that still hold the shared_ptr become no-ops.
+    std::atomic<bool> closed{false};
+    // Loop-thread-only state (no lock needed).
+    std::string read_buf;
+    size_t read_off = 0;
+    std::vector<Subscription> subs;
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void Loop();
+  void AcceptNew();
+  void HandleReadable(const ConnPtr& conn);
+  void DispatchFrame(const ConnPtr& conn, Frame frame);
+  void DoQuery(const ConnPtr& conn, uint64_t request_id,
+               const std::string& sql);
+  void DoIngest(const ConnPtr& conn, uint64_t request_id,
+                const std::string& body);
+  void DoSubscribe(const ConnPtr& conn, uint64_t request_id,
+                   const std::string& name);
+  void DoUnsubscribe(const ConnPtr& conn, uint64_t request_id,
+                     const std::string& name);
+
+  /// Enqueues a response frame (never shed; the client awaits it).
+  void EnqueueResponse(const ConnPtr& conn, const Frame& frame);
+  /// Enqueues a pushed subscription frame under `policy_stream`'s overload
+  /// policy; called under the engine mutex from delivery callbacks (on
+  /// whatever thread drives ingest).
+  void EnqueuePush(const ConnPtr& conn, const std::string& policy_stream,
+                   std::string bytes);
+
+  /// Writes as much queued output as the socket accepts right now.
+  /// Callable from any thread (BLOCK-policy deliverers drain the socket
+  /// themselves so a busy loop thread cannot deadlock them).
+  void TryFlush(const ConnPtr& conn);
+
+  /// Marks a connection dead and wakes the loop to reap it.
+  void KillConnection(const ConnPtr& conn);
+  /// Loop thread: detaches subscriptions, releases queued-byte charges,
+  /// closes the socket, drops the connection.
+  void Reap(const ConnPtr& conn);
+
+  void ShutdownInternal(bool graceful);
+  void Wake();
+  void AppendNetStats(std::vector<stream::MetricSample>* samples) const;
+
+  engine::Database* db_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::mutex lifecycle_mu_;  // serializes Start/Stop/Drain
+
+  std::map<int, ConnPtr> conns_;  // loop-thread-only, keyed by fd
+  uint64_t next_conn_id_ = 1;
+
+  // Counters shared between the loop thread and delivery threads.
+  struct {
+    std::atomic<int64_t> connections_accepted{0};
+    std::atomic<int64_t> connections_closed{0};
+    std::atomic<int64_t> bytes_in{0};
+    std::atomic<int64_t> bytes_out{0};
+    std::atomic<int64_t> frames_query{0};
+    std::atomic<int64_t> frames_ingest_batch{0};
+    std::atomic<int64_t> frames_subscribe{0};
+    std::atomic<int64_t> frames_unsubscribe{0};
+    std::atomic<int64_t> frames_ping{0};
+    std::atomic<int64_t> frames_bad{0};
+    std::atomic<int64_t> pushes_total{0};
+    std::atomic<int64_t> pushes_admitted{0};
+    std::atomic<int64_t> pushes_shed{0};
+    std::atomic<int64_t> pushes_disconnected{0};
+    std::atomic<int64_t> slow_disconnects{0};
+    std::atomic<int64_t> subscriptions_active{0};
+  } counters_;
+
+  /// Per-request wall-time histogram (decode to response-enqueue).
+  mutable std::mutex hist_mu_;
+  stream::Histogram request_micros_;
+};
+
+}  // namespace streamrel::net
+
+#endif  // STREAMREL_NET_SERVER_H_

@@ -1,0 +1,109 @@
+// streamrel-server: the TCP front-end around an in-process Database.
+//
+//   streamrel-server [--host H] [--port P] [--init FILE.sql]
+//
+// --port 0 (the default) binds an ephemeral port; the bound port is
+// printed on stdout as "streamrel-server listening on H:P" so scripts can
+// scrape it. SIGTERM/SIGINT trigger a graceful drain: stop accepting,
+// flush subscriber queues, then exit 0.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/database.h"
+#include "net/server.h"
+
+namespace {
+
+// Signal handlers may only write to a pipe; the main thread polls it.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char byte = 's';
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--init FILE.sql]\n"
+               "  --host H       listen address (default 127.0.0.1)\n"
+               "  --port P       listen port; 0 = ephemeral (default 0)\n"
+               "  --init FILE    run FILE's SQL statements before serving\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  streamrel::net::ServerOptions options;
+  std::string init_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--init" && i + 1 < argc) {
+      init_file = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  streamrel::engine::Database db;
+  if (!init_file.empty()) {
+    std::ifstream in(init_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open init file '%s'\n",
+                   init_file.c_str());
+      return 1;
+    }
+    std::ostringstream sql;
+    sql << in.rdbuf();
+    auto result = db.Execute(sql.str());
+    if (!result.ok()) {
+      std::fprintf(stderr, "init failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  streamrel::net::Server server(&db, options);
+  streamrel::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("streamrel-server listening on %s:%u\n", options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  if (pipe(g_signal_pipe) < 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = OnSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+  for (;;) {
+    int rc = poll(&pfd, 1, -1);
+    if (rc > 0) break;
+    if (rc < 0 && errno != EINTR) break;
+  }
+  std::printf("streamrel-server draining\n");
+  std::fflush(stdout);
+  server.Drain();
+  return 0;
+}

@@ -185,6 +185,8 @@ enum class StatementKind {
   kSet,          // SET PARALLELISM <n>
   kSetFault,     // SET FAULT '<point>' <policy> | SET FAULT RESET
   kShowFaults,   // SHOW FAULTS
+  kSubscribe,    // SUBSCRIBE TO <stream|cq>   (network sessions only)
+  kUnsubscribe,  // UNSUBSCRIBE [FROM] <stream|cq>
 };
 
 struct Statement {
@@ -263,11 +265,27 @@ struct ExplainStmt : Statement {
 /// ordinary rows (scope, name, metric, value). Without FOR, every metric
 /// the engine tracks is returned.
 struct ShowStatsStmt : Statement {
-  enum class Target { kAll, kCq, kStream, kChannel, kOverload };
+  enum class Target { kAll, kCq, kStream, kChannel, kOverload, kNet };
   Target target = Target::kAll;
   std::string name;  // empty for kAll
 
   StatementKind kind() const override { return StatementKind::kShowStats; }
+};
+
+/// SUBSCRIBE TO <stream|cq>: live push delivery of window-close batches
+/// (or raw-stream batches) over the issuing network session. Only network
+/// sessions can execute it — the in-process API is Database::Subscribe.
+struct SubscribeStmt : Statement {
+  std::string name;  // stream or CQ name (dotted names allowed)
+
+  StatementKind kind() const override { return StatementKind::kSubscribe; }
+};
+
+/// UNSUBSCRIBE [FROM] <stream|cq>: removes this session's subscription.
+struct UnsubscribeStmt : Statement {
+  std::string name;
+
+  StatementKind kind() const override { return StatementKind::kUnsubscribe; }
 };
 
 /// SET <option> <value>: engine-level runtime options.

@@ -159,6 +159,18 @@ class Parser {
     }
     if (MatchKeyword("show")) return ParseShowStats();
     if (MatchKeyword("set")) return ParseSet();
+    if (MatchKeyword("subscribe")) {
+      RETURN_IF_ERROR(ExpectKeyword("to"));
+      auto stmt = std::make_unique<SubscribeStmt>();
+      ASSIGN_OR_RETURN(stmt->name, ParseObjectName("stream or CQ name"));
+      return StatementPtr(std::move(stmt));
+    }
+    if (MatchKeyword("unsubscribe")) {
+      MatchKeyword("from");
+      auto stmt = std::make_unique<UnsubscribeStmt>();
+      ASSIGN_OR_RETURN(stmt->name, ParseObjectName("stream or CQ name"));
+      return StatementPtr(std::move(stmt));
+    }
     if (MatchKeyword("begin") || MatchKeyword("start")) {
       MatchKeyword("transaction");
       MatchKeyword("work");
@@ -182,7 +194,7 @@ class Parser {
     }
     return Result<StatementPtr>(
         Error("expected SELECT, INSERT, UPDATE, DELETE, CREATE, DROP, "
-              "VACUUM, EXPLAIN, SHOW, or SET"));
+              "VACUUM, EXPLAIN, SHOW, SET, SUBSCRIBE, or UNSUBSCRIBE"));
   }
 
   Result<StatementPtr> ParseSet() {
@@ -308,6 +320,12 @@ class Parser {
         stmt->target = ShowStatsStmt::Target::kOverload;
         return StatementPtr(std::move(stmt));
       }
+      if (MatchKeyword("net")) {
+        // Whole network-front-end scope (connections, frames, send
+        // queues, slow consumers); takes no object name.
+        stmt->target = ShowStatsStmt::Target::kNet;
+        return StatementPtr(std::move(stmt));
+      }
       if (MatchKeyword("cq")) {
         stmt->target = ShowStatsStmt::Target::kCq;
       } else if (MatchKeyword("stream")) {
@@ -316,7 +334,7 @@ class Parser {
         stmt->target = ShowStatsStmt::Target::kChannel;
       } else {
         return Result<StatementPtr>(
-            Error("expected CQ, STREAM, CHANNEL, or OVERLOAD after FOR"));
+            Error("expected CQ, STREAM, CHANNEL, OVERLOAD, or NET after FOR"));
       }
       ASSIGN_OR_RETURN(stmt->name, ParseObjectName("object name"));
     }

@@ -385,8 +385,10 @@ Status ContinuousQuery::EvaluateShared(int64_t close, std::vector<Row>* out) {
 }
 
 Status ContinuousQuery::Deliver(int64_t close, const std::vector<Row>& rows) {
-  for (const CqCallback& cb : callbacks_) {
-    RETURN_IF_ERROR(cb(close, rows));
+  // Index loop: a callback may re-enter the engine and add/remove
+  // subscriptions, invalidating iterators into callbacks_.
+  for (size_t i = 0; i < callbacks_.size(); ++i) {
+    RETURN_IF_ERROR(callbacks_[i].callback(close, rows));
   }
   return Status::OK();
 }

@@ -105,9 +105,22 @@ class ContinuousQuery {
   /// runtime uses it to keep shard counts in step with SET PARALLELISM.
   SliceAggregator* shared_aggregator() const { return shared_agg_; }
 
-  void AddCallback(CqCallback callback) {
-    callbacks_.push_back(std::move(callback));
+  /// Registers a delivery callback; the returned id can later detach it
+  /// (network sessions subscribe and unsubscribe while the CQ runs).
+  int64_t AddCallback(CqCallback callback) {
+    int64_t id = next_callback_id_++;
+    callbacks_.push_back({id, std::move(callback)});
+    return id;
   }
+
+  /// Detaches a callback registered by AddCallback; unknown ids are a
+  /// no-op (the CQ may have been dropped and re-created meanwhile).
+  void RemoveCallback(int64_t id) {
+    std::erase_if(callbacks_,
+                  [id](const CallbackEntry& e) { return e.id == id; });
+  }
+
+  size_t callback_count() const { return callbacks_.size(); }
 
   /// Generic path: evaluates the plan over one closed window's contents.
   /// Shared path: reads the shared aggregator as of the batch close (the
@@ -151,11 +164,17 @@ class ContinuousQuery {
   Status EvaluateShared(int64_t close, std::vector<Row>* out);
   Status Deliver(int64_t close, const std::vector<Row>& rows);
 
+  struct CallbackEntry {
+    int64_t id = 0;
+    CqCallback callback;
+  };
+
   std::string name_;
   std::string stream_name_;
   WindowSpec window_;
   Schema output_schema_;
-  std::vector<CqCallback> callbacks_;
+  std::vector<CallbackEntry> callbacks_;
+  int64_t next_callback_id_ = 1;
   int64_t emit_watermark_ = INT64_MIN;
   int64_t windows_evaluated_ = 0;
   int64_t eval_micros_total_ = 0;

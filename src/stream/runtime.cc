@@ -257,10 +257,21 @@ Status StreamRuntime::UnregisterStream(const std::string& name) {
   return Status::OK();
 }
 
-Status StreamRuntime::SubscribeStream(const std::string& stream,
-                                      CqCallback callback) {
+Result<int64_t> StreamRuntime::SubscribeStream(const std::string& stream,
+                                               CqCallback callback) {
   RETURN_IF_ERROR(RegisterStream(stream));
-  GetState(stream)->client_subs.push_back(std::move(callback));
+  int64_t id = next_client_sub_id_++;
+  GetState(stream)->client_subs.push_back({id, std::move(callback)});
+  return id;
+}
+
+Status StreamRuntime::UnsubscribeStream(const std::string& stream,
+                                        int64_t id) {
+  StreamState* state = GetState(stream);
+  if (state == nullptr) return Status::OK();
+  std::erase_if(state->client_subs, [id](const StreamState::ClientSub& s) {
+    return s.id == id;
+  });
   return Status::OK();
 }
 
@@ -398,8 +409,11 @@ Status StreamRuntime::IngestImpl(const std::string& stream,
     RETURN_IF_ERROR(WithSinkRetry(
         [&] { return channel->OnRawRows(state->watermark, admitted); }));
   }
-  for (const CqCallback& cb : state->client_subs) {
-    RETURN_IF_ERROR(cb(state->watermark, admitted));
+  // Index loop: a delivery callback may re-enter the engine and mutate
+  // the subscription list.
+  for (size_t i = 0; i < state->client_subs.size(); ++i) {
+    RETURN_IF_ERROR(state->client_subs[i].callback(state->watermark,
+                                                   admitted));
   }
   return Status::OK();
 }
@@ -599,8 +613,11 @@ Status StreamRuntime::IngestParallel(StreamState* state,
     RETURN_IF_ERROR(WithSinkRetry(
         [&] { return channel->OnRawRows(state->watermark, admitted); }));
   }
-  for (const CqCallback& cb : state->client_subs) {
-    RETURN_IF_ERROR(cb(state->watermark, admitted));
+  // Index loop: a delivery callback may re-enter the engine and mutate
+  // the subscription list.
+  for (size_t i = 0; i < state->client_subs.size(); ++i) {
+    RETURN_IF_ERROR(state->client_subs[i].callback(state->watermark,
+                                                   admitted));
   }
   return Status::OK();
 }
@@ -704,8 +721,8 @@ Status StreamRuntime::PublishBatch(const std::string& stream, int64_t close,
     RETURN_IF_ERROR(
         WithSinkRetry([&] { return channel->OnBatch(close, rows); }));
   }
-  for (const CqCallback& cb : state->client_subs) {
-    RETURN_IF_ERROR(cb(close, rows));
+  for (size_t i = 0; i < state->client_subs.size(); ++i) {
+    RETURN_IF_ERROR(state->client_subs[i].callback(close, rows));
   }
   return Status::OK();
 }
@@ -1041,6 +1058,8 @@ void StreamRuntime::RefreshMetricsGauges() {
       ->Set(governor_.held(MemoryGovernor::Account::kShardQueue));
   metrics_.GetGauge("overload", "governor", "bytes_reorder")
       ->Set(governor_.held(MemoryGovernor::Account::kReorder));
+  metrics_.GetGauge("overload", "governor", "bytes_net_send_queue")
+      ->Set(governor_.held(MemoryGovernor::Account::kNetSendQueue));
   metrics_.GetGauge("overload", "retry", "retries")->Set(retries_);
   metrics_.GetGauge("overload", "retry", "exhausted")
       ->Set(retries_exhausted_);

@@ -89,8 +89,14 @@ class StreamRuntime {
   Status UnregisterStream(const std::string& name);
 
   /// Client subscription to a stream's batches (derived streams deliver
-  /// their CQ output; raw streams deliver ingested rows).
-  Status SubscribeStream(const std::string& stream, CqCallback callback);
+  /// their CQ output; raw streams deliver ingested rows). Returns an id
+  /// that UnsubscribeStream accepts (network sessions come and go while
+  /// the stream lives).
+  Result<int64_t> SubscribeStream(const std::string& stream,
+                                  CqCallback callback);
+
+  /// Detaches a client subscription by id; unknown ids are a no-op.
+  Status UnsubscribeStream(const std::string& stream, int64_t id);
 
   // --- data ----------------------------------------------------------------
 
@@ -232,7 +238,11 @@ class StreamRuntime {
     int64_t ingest_seq = 0;
     std::vector<Subscription> subs;
     std::vector<Channel*> channels;        // owned by channels_
-    std::vector<CqCallback> client_subs;
+    struct ClientSub {
+      int64_t id = 0;
+      CqCallback callback;
+    };
+    std::vector<ClientSub> client_subs;
     // Cached metric cells (owned by metrics_; stable until the stream is
     // unregistered). Bound in RegisterStream.
     Counter* rows_ingested_metric = nullptr;
@@ -291,6 +301,7 @@ class StreamRuntime {
   storage::WriteAheadLog* wal_;
 
   std::map<std::string, StreamState> streams_;  // lowercased name
+  int64_t next_client_sub_id_ = 1;
   std::map<std::string, std::unique_ptr<ContinuousQuery>> cqs_;
   std::map<std::string, std::unique_ptr<Channel>> channels_;
   SliceAggregatorRegistry registry_;

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "common/time.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "test_util.h"
 
 namespace streamrel {
@@ -197,6 +199,113 @@ TEST(ConcurrencyStressTest, OverloadControlPlaneUnderIngest) {
               pushed)
         << "s" << p;
   }
+}
+
+// Many concurrent network clients against one server: per-client stream
+// pipelines with live subscriptions, binary ingest, and a stats reader,
+// all multiplexed over the single event loop while deliveries fan out
+// from inside the engine. Run under TSAN via scripts/sanitize.sh thread
+// to watch the loop-thread / delivery-thread handoff on the send queues.
+// Deterministic in outcome: every subscriber must see every window close
+// of its own pipeline, in order, and the push accounting must balance.
+TEST(ConcurrencyStressTest, ManyNetworkClients) {
+  constexpr int kPipelines = 4;
+  constexpr int kBatches = 25;
+  constexpr int kRowsPerBatch = 8;
+  constexpr int64_t kRpc = 20'000'000;
+
+  engine::Database db;
+  net::Server server(&db);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pipelines and subscriptions are set up before any traffic so no
+  // window close can be missed.
+  {
+    net::Client setup;
+    ASSERT_TRUE(setup.Connect("127.0.0.1", server.port(), kRpc).ok());
+    for (int p = 0; p < kPipelines; ++p) {
+      const std::string n = std::to_string(p);
+      auto r = setup.Query(
+          "CREATE STREAM ns" + n + " (v bigint, ts timestamp "
+          "CQTIME SYSTEM);"
+          "CREATE STREAM nagg" + n + " AS SELECT count(*) FROM ns" + n +
+          " <VISIBLE '1 minute'>");
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+  std::vector<net::Client> subscribers(kPipelines);
+  for (int p = 0; p < kPipelines; ++p) {
+    ASSERT_TRUE(
+        subscribers[p].Connect("127.0.0.1", server.port(), kRpc).ok());
+    ASSERT_TRUE(
+        subscribers[p].Subscribe("nagg" + std::to_string(p), kRpc).ok());
+  }
+
+  std::atomic<bool> failed{false};
+  auto record_failure = [&failed](const Status& st) {
+    if (!st.ok() && !failed.exchange(true)) {
+      ADD_FAILURE() << st.ToString();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  // Producers: one connection per pipeline, monotone system time, so
+  // every batch after the first closes exactly one window.
+  for (int p = 0; p < kPipelines; ++p) {
+    threads.emplace_back([&, p]() {
+      net::Client producer;
+      record_failure(producer.Connect("127.0.0.1", server.port(), kRpc));
+      for (int b = 0; b < kBatches && !failed.load(); ++b) {
+        std::vector<Row> rows;
+        for (int i = 0; i < kRowsPerBatch; ++i) {
+          rows.push_back({Value::Int64(b * 100 + i), Value::Null()});
+        }
+        record_failure(producer.IngestBatch(
+            "ns" + std::to_string(p), rows,
+            /*system_time=*/(b * 60 + 10) * kSec, kRpc));
+      }
+    });
+  }
+  // Subscribers: drain pushes as they arrive; closes must be in order
+  // and carry the per-window row count.
+  for (int p = 0; p < kPipelines; ++p) {
+    threads.emplace_back([&, p]() {
+      int64_t last_close = 0;
+      for (int w = 1; w < kBatches && !failed.load(); ++w) {
+        auto push = subscribers[p].NextPush(kRpc);
+        if (!push.ok()) {
+          record_failure(push.status());
+          return;
+        }
+        EXPECT_GT(push->close, last_close) << "out-of-order window close";
+        last_close = push->close;
+        ASSERT_EQ(push->rows.size(), 1u);
+        EXPECT_EQ(push->rows[0][0].AsInt64(), kRowsPerBatch);
+      }
+    });
+  }
+  // Control plane: SHOW STATS FOR NET and pings while traffic flows.
+  threads.emplace_back([&]() {
+    net::Client control;
+    record_failure(control.Connect("127.0.0.1", server.port(), kRpc));
+    for (int i = 0; i < 30 && !failed.load(); ++i) {
+      record_failure(control.Query("SHOW STATS FOR NET", kRpc).status());
+      record_failure(control.Ping(kRpc));
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(failed.load());
+
+  const net::NetStats stats = server.stats();
+  EXPECT_EQ(stats.pushes_total, stats.pushes_admitted + stats.pushes_shed +
+                                    stats.pushes_disconnected);
+  // Default policy queues are ample for these tiny frames: everything the
+  // subscribers were owed was admitted and delivered.
+  EXPECT_EQ(stats.pushes_admitted,
+            static_cast<int64_t>(kPipelines) * (kBatches - 1));
+  EXPECT_EQ(stats.slow_disconnects, 0);
+  server.Drain();
 }
 
 }  // namespace

@@ -260,17 +260,24 @@ std::vector<std::string> RecoverAndRefeed(
   }
 
   // Exactly-once probe: nothing already persisted may be re-delivered.
-  Status sub = db->runtime()->SubscribeStream(
-      "url_counts", [w_arch](int64_t close, const std::vector<Row>&) {
-        EXPECT_GT(close, w_arch) << "re-delivered persisted window";
-        return Status::OK();
-      });
+  Status sub =
+      db->runtime()
+          ->SubscribeStream(
+              "url_counts",
+              [w_arch](int64_t close, const std::vector<Row>&) {
+                EXPECT_GT(close, w_arch) << "re-delivered persisted window";
+                return Status::OK();
+              })
+          .status();
   EXPECT_TRUE(sub.ok()) << sub.ToString();
-  sub = db->runtime()->SubscribeStream(
-      "ev_win", [w_ev](int64_t close, const std::vector<Row>&) {
-        EXPECT_GT(close, w_ev) << "re-delivered persisted window";
-        return Status::OK();
-      });
+  sub = db->runtime()
+            ->SubscribeStream(
+                "ev_win",
+                [w_ev](int64_t close, const std::vector<Row>&) {
+                  EXPECT_GT(close, w_ev) << "re-delivered persisted window";
+                  return Status::OK();
+                })
+            .status();
   EXPECT_TRUE(sub.ok()) << sub.ToString();
 
   for (int i = 0; i < static_cast<int>(ops.size()); ++i) {

@@ -1,0 +1,563 @@
+// Network front-end suite (ctest label: net).
+//
+// Covers the wire protocol (round-trips, truncated and corrupt frames
+// rejected without crashing), the TCP server end to end (queries, binary
+// ingest, live SUBSCRIBE pushes byte-identical to an in-process
+// subscriber), the slow-consumer policy grid (BLOCK disconnects, the shed
+// policies drop — with `pushes_total == admitted + shed + disconnected`
+// accounting that must balance exactly), `net.*` fault-injection drills
+// proving a killed connection never corrupts engine state, and the
+// `SHOW STATS FOR NET` scope.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/memory_governor.h"
+#include "common/time.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "test_util.h"
+
+namespace streamrel::net {
+namespace {
+
+constexpr int64_t kSec = kMicrosPerSecond;
+constexpr int64_t kRpcTimeout = 10'000'000;  // generous for CI machines
+
+// --- protocol --------------------------------------------------------------
+
+TEST(Protocol, FrameRoundTripsEveryBodyType) {
+  std::vector<Frame> frames;
+  frames.push_back({FrameType::kQuery, 7, EncodeQueryBody("SELECT 1")});
+  IngestBatchRequest ingest;
+  ingest.stream = "s";
+  ingest.system_time = 42;
+  ingest.rows = {{Value::Int64(1), Value::Double(2.5)},
+                 {Value::String("x"), Value::Null()}};
+  frames.push_back({FrameType::kIngestBatch, 8, EncodeIngestBody(ingest)});
+  frames.push_back({FrameType::kSubscribe, 9, EncodeNameBody("cq1")});
+  frames.push_back({FrameType::kPing, 10, ""});
+  RowSet rowset;
+  rowset.message = "SELECT 1";
+  rowset.schema = Schema({Column("v", DataType::kInt64)});
+  rowset.rows = {{Value::Int64(5)}};
+  frames.push_back({FrameType::kRowSet, 11, EncodeRowSetBody(rowset)});
+  StreamRowsBody batch;
+  batch.source = "cq1";
+  batch.close = 60 * kSec;
+  batch.rows = {{Value::Int64(12), Value::Double(0.1 + 0.2)}};
+  frames.push_back({FrameType::kStreamRows, 12,
+                    EncodeStreamRowsBody(batch)});
+  frames.push_back({FrameType::kError, 13,
+                    EncodeErrorBody(Status::NotFound("no such thing"))});
+  frames.push_back({FrameType::kAck, 14, EncodeAckBody("PONG")});
+
+  // All frames through one buffer, decoded back in order.
+  std::string wire;
+  for (const Frame& f : frames) EncodeFrame(f, &wire);
+  size_t offset = 0;
+  for (const Frame& want : frames) {
+    Frame got;
+    std::string error;
+    ASSERT_EQ(TryDecodeFrame(wire, &offset, &got, &error),
+              DecodeStatus::kFrame)
+        << error;
+    EXPECT_EQ(got.type, want.type);
+    EXPECT_EQ(got.request_id, want.request_id);
+    EXPECT_EQ(got.body, want.body);
+  }
+  EXPECT_EQ(offset, wire.size());
+
+  // Body payloads decode to the original values (doubles bit-exact).
+  auto ingest2 = DecodeIngestBody(EncodeIngestBody(ingest));
+  ASSERT_TRUE(ingest2.ok());
+  EXPECT_EQ(ingest2->stream, "s");
+  EXPECT_EQ(ingest2->system_time, 42);
+  ASSERT_EQ(ingest2->rows.size(), 2u);
+  EXPECT_EQ(RowToString(ingest2->rows[0]), RowToString(ingest.rows[0]));
+  EXPECT_EQ(RowToString(ingest2->rows[1]), RowToString(ingest.rows[1]));
+
+  auto rowset2 = DecodeRowSetBody(EncodeRowSetBody(rowset));
+  ASSERT_TRUE(rowset2.ok());
+  EXPECT_EQ(rowset2->message, "SELECT 1");
+  ASSERT_EQ(rowset2->schema.num_columns(), 1u);
+  EXPECT_EQ(rowset2->schema.columns()[0].name, "v");
+
+  auto batch2 = DecodeStreamRowsBody(EncodeStreamRowsBody(batch));
+  ASSERT_TRUE(batch2.ok());
+  EXPECT_EQ(batch2->close, 60 * kSec);
+  EXPECT_EQ(batch2->rows[0][1].AsDouble(), 0.1 + 0.2);  // bit-exact
+
+  Status err = DecodeErrorBody(EncodeErrorBody(Status::NotFound("gone")));
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.message(), "gone");
+}
+
+TEST(Protocol, TruncatedFrameNeedsMoreNeverCorrupt) {
+  std::string wire;
+  EncodeFrame({FrameType::kQuery, 1, EncodeQueryBody("SELECT 1")}, &wire);
+  // Every proper prefix is "need more", not corrupt — partial reads off a
+  // socket must never kill the connection.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    std::string partial = wire.substr(0, cut);
+    size_t offset = 0;
+    Frame frame;
+    EXPECT_EQ(TryDecodeFrame(partial, &offset, &frame, nullptr),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << cut;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(Protocol, CorruptFramesRejectedWithoutCrashing) {
+  std::string wire;
+  EncodeFrame({FrameType::kQuery, 1, EncodeQueryBody("SELECT 1")}, &wire);
+  // Flip each byte in turn: the decoder must return kCorrupt (checksum,
+  // type, or length check) or kNeedMore (length field grew) — never a
+  // bogus frame, never a crash.
+  for (size_t i = 0; i < wire.size(); ++i) {
+    std::string bad = wire;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    size_t offset = 0;
+    Frame frame;
+    std::string error;
+    DecodeStatus ds = TryDecodeFrame(bad, &offset, &frame, &error);
+    EXPECT_TRUE(ds == DecodeStatus::kCorrupt || ds == DecodeStatus::kNeedMore)
+        << "byte " << i << " decoded as a valid frame";
+  }
+  // Absurd length prefix: corrupt, not a 4GB allocation.
+  std::string absurd(8, '\xff');
+  size_t offset = 0;
+  Frame frame;
+  EXPECT_EQ(TryDecodeFrame(absurd, &offset, &frame, nullptr),
+            DecodeStatus::kCorrupt);
+}
+
+// --- server fixture --------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    server_ = std::make_unique<Server>(&db_, options_);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0) << "--port 0 must report the bound port";
+  }
+
+  void TearDown() override {
+    server_.reset();
+    FaultInjector::Instance().Reset();
+  }
+
+  Client MakeClient() {
+    Client client;
+    Status st = client.Connect("127.0.0.1", server_->port(), kRpcTimeout);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return client;
+  }
+
+  // CQTIME SYSTEM stream + tumbling-window derived stream: a subscriber
+  // to `agg` sees one aggregate row per closed minute.
+  void CreateAggPipeline(Client* client) {
+    auto r = client->Query(
+        "CREATE STREAM s (v bigint, ts timestamp CQTIME SYSTEM);"
+        "CREATE STREAM agg AS SELECT count(*), sum(v) FROM s "
+        "<VISIBLE '1 minute'>");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  engine::Database db_;
+  ServerOptions options_;
+  std::unique_ptr<Server> server_;
+};
+
+// --- happy paths -----------------------------------------------------------
+
+TEST_F(NetworkTest, QueryIngestSubscribeEndToEnd) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Ping(kRpcTimeout).ok());
+  CreateAggPipeline(&client);
+
+  // In-process subscriber: the oracle for byte-identical delivery.
+  CqCapture local;
+  auto ticket = db_.Subscribe("agg", local.Callback());
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+
+  ASSERT_TRUE(client.Subscribe("agg", kRpcTimeout).ok());
+
+  // Binary ingest; the second batch's timestamp pushes the watermark past
+  // the first window so it closes and fans out.
+  std::vector<Row> rows;
+  for (int i = 1; i <= 5; ++i) {
+    rows.push_back({Value::Int64(i), Value::Null()});
+  }
+  ASSERT_TRUE(
+      client.IngestBatch("s", rows, /*system_time=*/10 * kSec, kRpcTimeout)
+          .ok());
+  ASSERT_TRUE(client
+                  .IngestBatch("s", {{Value::Int64(0), Value::Null()}},
+                               /*system_time=*/130 * kSec, kRpcTimeout)
+                  .ok());
+
+  auto push = client.NextPush(kRpcTimeout);
+  ASSERT_TRUE(push.ok()) << push.status().ToString();
+  EXPECT_EQ(push->source, "agg");
+  ASSERT_GE(local.batches.size(), 1u)
+      << "remote and local subscriber must see the same deliveries";
+  EXPECT_EQ(push->close, local.batches[0].close);
+  ASSERT_EQ(push->rows.size(), local.batches[0].rows.size());
+  for (size_t i = 0; i < push->rows.size(); ++i) {
+    // Byte-identical: both rows re-serialize to the same bytes.
+    std::string remote_bytes, local_bytes;
+    SerializeRow(push->rows[i], &remote_bytes);
+    SerializeRow(local.batches[0].rows[i], &local_bytes);
+    EXPECT_EQ(remote_bytes, local_bytes);
+    EXPECT_EQ(RowToString(push->rows[i]),
+              RowToString(local.batches[0].rows[i]));
+  }
+  ASSERT_TRUE(db_.Unsubscribe(*ticket).ok());
+}
+
+TEST_F(NetworkTest, SubscribeViaSqlAndUnsubscribe) {
+  Client client = MakeClient();
+  CreateAggPipeline(&client);
+  // SUBSCRIBE TO issued as SQL through the QUERY frame.
+  auto sub = client.Query("SUBSCRIBE TO agg");
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_NE(sub->message.find("SUBSCRIBED"), std::string::npos);
+  // Duplicate subscription on the same connection: AlreadyExists.
+  auto dup = client.Subscribe("agg", kRpcTimeout);
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(server_->stats().subscriptions_active, 1);
+
+  auto unsub = client.Query("UNSUBSCRIBE FROM agg");
+  ASSERT_TRUE(unsub.ok()) << unsub.status().ToString();
+  EXPECT_EQ(server_->stats().subscriptions_active, 0);
+  // Unsubscribing again: NotFound.
+  EXPECT_EQ(client.Unsubscribe("agg", kRpcTimeout).code(),
+            StatusCode::kNotFound);
+  // SUBSCRIBE outside a network session is rejected with a pointer here.
+  auto local = db_.Execute("SUBSCRIBE TO agg");
+  ASSERT_FALSE(local.ok());
+  EXPECT_NE(local.status().message().find("network"), std::string::npos);
+}
+
+TEST_F(NetworkTest, QueryErrorsRoundTripStatusCodes) {
+  Client client = MakeClient();
+  auto parse = client.Query("SELEKT 1");
+  EXPECT_EQ(parse.status().code(), StatusCode::kParseError);
+  auto missing = client.Query("SELECT * FROM nope");
+  EXPECT_FALSE(missing.ok());
+  auto ingest = client.IngestBatch("ghost", {{Value::Int64(1)}},
+                                   /*system_time=*/0, kRpcTimeout);
+  EXPECT_FALSE(ingest.ok());
+  auto sub = client.Subscribe("ghost", kRpcTimeout);
+  EXPECT_EQ(sub.code(), StatusCode::kNotFound);
+  // The connection survived all of it.
+  EXPECT_TRUE(client.Ping(kRpcTimeout).ok());
+}
+
+TEST_F(NetworkTest, ShowStatsForNetReportsTraffic) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Ping(kRpcTimeout).ok());
+  auto stats = client.Query("SHOW STATS FOR NET");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_FALSE(stats->rows.empty());
+  // Every row is in the net scope; the counters we drove are present.
+  bool saw_connections = false, saw_ping = false, saw_latency = false;
+  for (const Row& row : stats->rows) {
+    ASSERT_GE(row.size(), 4u);
+    EXPECT_EQ(row[0].AsString(), "net");
+    const std::string name = row[1].AsString();
+    const std::string metric = row[2].AsString();
+    if (name == "server" && metric == "connections_accepted") {
+      saw_connections = true;
+      EXPECT_GE(row[3].AsInt64(), 1);
+    }
+    if (name == "frames" && metric == "ping") {
+      saw_ping = true;
+      EXPECT_GE(row[3].AsInt64(), 1);
+    }
+    if (name == "requests" && metric == "request_micros_count") {
+      saw_latency = true;
+      EXPECT_GE(row[3].AsInt64(), 1);
+    }
+  }
+  EXPECT_TRUE(saw_connections);
+  EXPECT_TRUE(saw_ping);
+  EXPECT_TRUE(saw_latency);
+}
+
+// --- corrupt input over the wire ------------------------------------------
+
+TEST_F(NetworkTest, CorruptWireFrameKillsConnectionNotEngine) {
+  Client good = MakeClient();
+  ASSERT_TRUE(good.Query("CREATE TABLE t (v bigint)").ok());
+
+  // Raw socket sending a frame whose checksum byte was flipped.
+  std::string wire;
+  EncodeFrame({FrameType::kQuery, 1, EncodeQueryBody("SELECT 1")}, &wire);
+  wire[5] = static_cast<char>(wire[5] ^ 0x40);
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  // The server answers with an ERROR frame and closes; read until EOF.
+  std::string response;
+  char tmp[4096];
+  for (;;) {
+    ssize_t n = recv(fd, tmp, sizeof(tmp), 0);
+    if (n <= 0) break;
+    response.append(tmp, static_cast<size_t>(n));
+  }
+  close(fd);
+  size_t offset = 0;
+  Frame frame;
+  ASSERT_EQ(TryDecodeFrame(response, &offset, &frame, nullptr),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_GE(server_->stats().frames_bad, 1);
+
+  // The engine and other connections are untouched.
+  ASSERT_TRUE(good.Query("INSERT INTO t VALUES (1)").ok());
+  auto r = good.Query("SELECT v FROM t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+}
+
+// --- slow-consumer policy grid --------------------------------------------
+
+class SlowConsumerTest : public NetworkTest {
+ protected:
+  void SetUp() override {
+    // Small queue bound, minimum kernel send buffer, short BLOCK timeout:
+    // a non-reading subscriber back-pressures after a few frames and the
+    // grid runs fast.
+    options_.max_send_queue_bytes = 24 * 1024;
+    options_.block_timeout_micros = 30'000;
+    options_.so_sndbuf = 1;  // kernel clamps to its minimum
+    NetworkTest::SetUp();
+  }
+
+  // A subscriber that acknowledges SUBSCRIBE and then never reads again,
+  // with the smallest receive window the kernel allows.
+  struct LazySubscriber {
+    int fd = -1;
+    ~LazySubscriber() {
+      if (fd >= 0) close(fd);
+    }
+    void SubscribeAndStall(uint16_t port, const std::string& name) {
+      fd = socket(AF_INET, SOCK_STREAM, 0);
+      ASSERT_GE(fd, 0);
+      int tiny = 1;  // clamped up to the kernel minimum
+      setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      ASSERT_EQ(
+          connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+      std::string wire;
+      EncodeFrame({FrameType::kSubscribe, 1, EncodeNameBody(name)}, &wire);
+      ASSERT_EQ(send(fd, wire.data(), wire.size(), 0),
+                static_cast<ssize_t>(wire.size()));
+      // Read exactly the SUBSCRIBE ack, then stall.
+      std::string buf;
+      char tmp[512];
+      for (;;) {
+        size_t offset = 0;
+        Frame frame;
+        if (TryDecodeFrame(buf, &offset, &frame, nullptr) ==
+            DecodeStatus::kFrame) {
+          ASSERT_EQ(frame.type, FrameType::kAck);
+          break;
+        }
+        ssize_t n = recv(fd, tmp, sizeof(tmp), 0);
+        ASSERT_GT(n, 0);
+        buf.append(tmp, static_cast<size_t>(n));
+      }
+    }
+  };
+
+  // Drives `n_windows` window closes (each one padded push frame) into a
+  // stalled subscriber under `policy`, then returns the final stats.
+  NetStats RunGrid(const std::string& policy, int n_windows) {
+    Client control = MakeClient();
+    auto ddl = control.Query(
+        "CREATE STREAM s (v bigint, pad varchar, "
+        "ts timestamp CQTIME SYSTEM);"
+        "CREATE STREAM agg AS SELECT v, pad FROM s <VISIBLE '1 minute'>;"
+        "SET OVERLOAD POLICY agg " + policy);
+    EXPECT_TRUE(ddl.ok()) << ddl.status().ToString();
+
+    LazySubscriber lazy;
+    lazy.SubscribeAndStall(server_->port(), "agg");
+    if (::testing::Test::HasFatalFailure()) return server_->stats();
+
+    // ~8KB of padding per window: a few frames fill the kernel buffers,
+    // then the queue, then the policy decides.
+    const std::string pad(2048, 'x');
+    for (int w = 0; w < n_windows; ++w) {
+      std::vector<Row> rows;
+      for (int i = 0; i < 4; ++i) {
+        rows.push_back(
+            {Value::Int64(w * 10 + i), Value::String(pad), Value::Null()});
+      }
+      Status st = control.IngestBatch(
+          "s", rows, /*system_time=*/(w * 60 + 10) * kSec, kRpcTimeout);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    // Close the last window.
+    control.IngestBatch(
+        "s", {{Value::Int64(0), Value::String("x"), Value::Null()}},
+        /*system_time=*/(n_windows * 60 + 10) * kSec, kRpcTimeout);
+    // The control connection stays healthy regardless of lazy's fate.
+    EXPECT_TRUE(control.Ping(kRpcTimeout).ok());
+    return server_->stats();
+  }
+};
+
+TEST_F(SlowConsumerTest, BlockPolicyDisconnectsAndBalances) {
+  NetStats s = RunGrid("BLOCK", 12);
+  EXPECT_GE(s.slow_disconnects, 1)
+      << "BLOCK must disconnect a consumer that never drains";
+  EXPECT_GE(s.pushes_disconnected, 1);
+  EXPECT_EQ(s.pushes_total,
+            s.pushes_admitted + s.pushes_shed + s.pushes_disconnected);
+}
+
+TEST_F(SlowConsumerTest, ShedNewestDropsAndBalances) {
+  NetStats s = RunGrid("SHED_NEWEST", 12);
+  EXPECT_GE(s.pushes_shed, 1) << "a saturated queue must shed";
+  EXPECT_EQ(s.slow_disconnects, 0)
+      << "shed policies never disconnect a slow consumer";
+  EXPECT_EQ(s.pushes_total,
+            s.pushes_admitted + s.pushes_shed + s.pushes_disconnected);
+}
+
+TEST_F(SlowConsumerTest, ShedOldestEvictsAndBalances) {
+  NetStats s = RunGrid("SHED_OLDEST", 12);
+  EXPECT_GE(s.pushes_shed, 1);
+  EXPECT_EQ(s.slow_disconnects, 0);
+  EXPECT_EQ(s.pushes_total,
+            s.pushes_admitted + s.pushes_shed + s.pushes_disconnected);
+}
+
+// --- fault-injection drills -----------------------------------------------
+
+TEST_F(NetworkTest, NetReadFaultKillsConnectionEngineSurvives) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Query("CREATE TABLE t (v bigint);"
+                           "INSERT INTO t VALUES (7)")
+                  .ok());
+  FaultInjector::Instance().Arm("net.read", FaultPolicy::FailOnce());
+  // The next request hits net.read on the server: connection dies.
+  auto r = client.Query("SELECT v FROM t", /*timeout=*/2'000'000);
+  EXPECT_FALSE(r.ok());
+  FaultInjector::Instance().Disarm("net.read");
+  // Fresh connection: state intact, the INSERT is durable in the engine.
+  Client again = MakeClient();
+  auto r2 = again.Query("SELECT v FROM t");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_EQ(r2->rows.size(), 1u);
+  EXPECT_EQ(r2->rows[0][0].AsInt64(), 7);
+}
+
+TEST_F(NetworkTest, NetWriteFaultMidSubscriptionNeverCorruptsEngine) {
+  Client client = MakeClient();
+  CreateAggPipeline(&client);
+  ASSERT_TRUE(client.Subscribe("agg", kRpcTimeout).ok());
+  Client driver = MakeClient();
+  ASSERT_TRUE(driver
+                  .IngestBatch("s", {{Value::Int64(1), Value::Null()}},
+                               /*system_time=*/10 * kSec, kRpcTimeout)
+                  .ok());
+
+  FaultInjector::Instance().Arm("net.write", FaultPolicy::FailOnce());
+  // This ingest closes the window. The injected write fault fires on the
+  // first flush after the engine call — the driver's own ACK — killing
+  // the driver connection AFTER the rows were applied. The engine and the
+  // subscriber's queued push must both survive.
+  Status st = driver.IngestBatch("s", {{Value::Int64(2), Value::Null()}},
+                                 /*system_time=*/70 * kSec,
+                                 /*timeout=*/2'000'000);
+  FaultInjector::Instance().Disarm("net.write");
+  EXPECT_FALSE(st.ok()) << "the faulted connection must die, not hang";
+
+  // The subscriber still receives the window that closed during the
+  // faulted request: the ingest took effect exactly once.
+  auto push = client.NextPush(kRpcTimeout);
+  ASSERT_TRUE(push.ok()) << push.status().ToString();
+  EXPECT_EQ(push->source, "agg");
+
+  // And a fresh connection keeps driving the same pipeline.
+  Client again = MakeClient();
+  ASSERT_TRUE(again
+                  .IngestBatch("s", {{Value::Int64(3), Value::Null()}},
+                               /*system_time=*/130 * kSec, kRpcTimeout)
+                  .ok());
+  auto push2 = client.NextPush(kRpcTimeout);
+  ASSERT_TRUE(push2.ok()) << push2.status().ToString();
+  EXPECT_GT(push2->close, push->close);
+}
+
+TEST_F(NetworkTest, NetAcceptFaultRefusesConnectionThenRecovers) {
+  FaultInjector::Instance().Arm("net.accept", FaultPolicy::FailOnce());
+  Client refused;
+  Status st =
+      refused.Connect("127.0.0.1", server_->port(), /*timeout=*/500'000);
+  // The TCP connect may succeed before the server closes the socket; the
+  // first round-trip must then fail.
+  if (st.ok()) st = refused.Ping(500'000);
+  EXPECT_FALSE(st.ok());
+  FaultInjector::Instance().Disarm("net.accept");
+  Client ok = MakeClient();
+  EXPECT_TRUE(ok.Ping(kRpcTimeout).ok());
+}
+
+// --- lifecycle -------------------------------------------------------------
+
+TEST_F(NetworkTest, GracefulDrainFlushesBeforeClosing) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Query("CREATE TABLE t (v bigint)").ok());
+  server_->Drain();
+  EXPECT_FALSE(server_->running());
+  // After drain the port no longer accepts.
+  Client late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server_->port(), 300'000).ok());
+}
+
+TEST_F(NetworkTest, GovernorChargesAndReleasesSendQueueBytes) {
+  MemoryGovernor* governor = db_.runtime()->governor();
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Ping(kRpcTimeout).ok());
+  ASSERT_TRUE(client.Query("CREATE TABLE t (v bigint)").ok());
+  client.Close();
+  // Give the server a beat to reap the closed connection.
+  for (int i = 0; i < 400; ++i) {
+    if (server_->stats().connections_active == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->stats().connections_active, 0);
+  EXPECT_EQ(governor->held(MemoryGovernor::Account::kNetSendQueue), 0)
+      << "all queued-frame bytes must be released once queues drain";
+}
+
+}  // namespace
+}  // namespace streamrel::net

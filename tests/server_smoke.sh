@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Smoke test for the standalone server: boots streamrel-server on an
+# ephemeral port, drives it with the remote-client example over TCP
+# (DDL, binary ingest, live SUBSCRIBE pushes, SHOW STATS FOR NET), then
+# checks the SIGTERM graceful-drain path exits 0.
+set -u
+SERVER_BIN="$1"
+CLIENT_BIN="$2"
+TMP_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP_DIR"
+}
+trap cleanup EXIT
+
+SERVER_OUT="$TMP_DIR/server.txt"
+"$SERVER_BIN" --port 0 > "$SERVER_OUT" 2>&1 &
+SERVER_PID=$!
+
+fail() {
+  echo "SMOKE FAILURE: $1"
+  echo "--- server output ---"; cat "$SERVER_OUT"
+  [ -f "$TMP_DIR/client.txt" ] && { echo "--- client output ---"; cat "$TMP_DIR/client.txt"; }
+  exit 1
+}
+
+# --port 0 binds an ephemeral port and reports it on stdout; scrape it.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^streamrel-server listening on [^:]*:\([0-9][0-9]*\)$/\1/p' "$SERVER_OUT")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before listening"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "server never reported its port"
+
+CLIENT_OUT="$TMP_DIR/client.txt"
+CLIENT_STATUS=0
+"$CLIENT_BIN" --connect 127.0.0.1 "$PORT" > "$CLIENT_OUT" 2>&1 || CLIENT_STATUS=$?
+[ "$CLIENT_STATUS" -eq 0 ] || fail "client exited with status $CLIENT_STATUS"
+grep -q "subscribed to url_counts" "$CLIENT_OUT" || fail "subscribe missing"
+grep -q "window close @60s from 'url_counts'" "$CLIENT_OUT" || fail "first window push missing"
+grep -q "window close @180s from 'url_counts'" "$CLIENT_OUT" || fail "third window push missing"
+grep -q "(/home, 4)" "$CLIENT_OUT" || fail "window contents wrong"
+grep -q "frames.ingest_batch = " "$CLIENT_OUT" || fail "NET stats missing"
+grep -q "remote client done" "$CLIENT_OUT" || fail "client did not finish"
+
+# Graceful drain on SIGTERM: the server announces the drain and exits 0.
+kill -TERM "$SERVER_PID"
+SERVER_STATUS=0
+wait "$SERVER_PID" || SERVER_STATUS=$?
+SERVER_PID=""
+[ "$SERVER_STATUS" -eq 0 ] || fail "server drain exited with status $SERVER_STATUS"
+grep -q "streamrel-server draining" "$SERVER_OUT" || fail "drain message missing"
+echo "server smoke test passed"
