@@ -9,8 +9,10 @@
 # full suite includes the crash-recovery and overload torture tests;
 # scripts/torture.sh runs just those (labels `torture` + `overload`)
 # under ASan+UBSan. `thread` mode additionally covers the concurrency
-# stress tests (ingest vs. control plane, overload budget/policy flips
-# mid-ingest) under TSAN.
+# suite (label `concurrency`: parallel ingest vs. control plane, overload
+# budget/policy flips mid-ingest, the concurrent-vs-serial-oracle
+# differential, network client fan-in) under TSAN — the lock-hierarchy
+# proof runs, per DESIGN decision 11.
 set -euo pipefail
 
 MODE="${1:-thread}"

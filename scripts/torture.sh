@@ -15,11 +15,16 @@
 # ASan+UBSan watch the shed/requeue paths. The network suite (`net`)
 # exercises the TCP front-end — corrupt frames, slow-consumer policies,
 # net.* fault drills — with the sanitizers watching the event loop and
-# per-connection send queues. Extra arguments are forwarded to ctest, e.g.
+# per-connection send queues. After the ASan+UBSan pass, the concurrency
+# suite (label `concurrency`: parallel ingest on disjoint streams vs. the
+# control plane, the concurrent-vs-serial-oracle differential, network
+# client fan-in) runs again under TSAN — lock-hierarchy violations
+# (DESIGN decision 11) and loop-/worker-/delivery-thread races surface
+# there, not under ASan. Extra arguments are forwarded to ctest, e.g.
 #   scripts/torture.sh --verbose
 #
-# Reuses sanitize.sh's build-asan/ tree, so a prior sanitize run makes this
-# incremental (and vice versa).
+# Reuses sanitize.sh's build-asan/ and build-tsan/ trees, so a prior
+# sanitize run makes this incremental (and vice versa).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,5 +39,18 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
-cd "$BUILD_DIR"
-ctest --output-on-failure -L "torture|overload|net" "$@"
+(cd "$BUILD_DIR" && ctest --output-on-failure -L "torture|overload|net" "$@")
+
+# TSAN leg: the concurrency label only (the full-suite TSAN run is
+# scripts/sanitize.sh thread). Races between the ingest threads, the
+# server's event loop + request workers, and delivery callbacks are
+# precisely what these tests provoke.
+TSAN_BUILD_DIR="build-tsan"
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTREAMREL_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-second_deadlock_stack=1}"
+
+(cd "$TSAN_BUILD_DIR" && ctest --output-on-failure -L concurrency "$@")

@@ -26,24 +26,28 @@ Status Catalog::CheckNameFree(const std::string& name) const {
 }
 
 Status Catalog::CreateTable(TableInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
   RETURN_IF_ERROR(CheckNameFree(info.name));
   tables_.emplace(ToLower(info.name), std::move(info));
   return Status::OK();
 }
 
 Status Catalog::CreateStream(StreamInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
   RETURN_IF_ERROR(CheckNameFree(info.name));
   streams_.emplace(ToLower(info.name), std::move(info));
   return Status::OK();
 }
 
 Status Catalog::CreateView(ViewInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
   RETURN_IF_ERROR(CheckNameFree(info.name));
   views_.emplace(ToLower(info.name), std::move(info));
   return Status::OK();
 }
 
 Status Catalog::CreateChannel(ChannelInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string key = ToLower(info.name);
   if (channels_.count(key)) {
     return Status::AlreadyExists("a channel named '" + info.name +
@@ -56,12 +60,13 @@ Status Catalog::CreateChannel(ChannelInfo info) {
 Status Catalog::CreateIndex(const std::string& index_name,
                             const std::string& table,
                             std::shared_ptr<storage::BTreeIndex> index) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string key = ToLower(index_name);
   if (index_owners_.count(key)) {
     return Status::AlreadyExists("an index named '" + index_name +
                                  "' exists");
   }
-  TableInfo* info = GetTable(table);
+  TableInfo* info = FindTableLocked(table);
   if (info == nullptr) {
     return Status::NotFound("table '" + table + "' not found");
   }
@@ -72,40 +77,53 @@ Status Catalog::CreateIndex(const std::string& index_name,
   return Status::OK();
 }
 
-TableInfo* Catalog::GetTable(const std::string& name) {
+TableInfo* Catalog::FindTableLocked(const std::string& name) {
   auto it = tables_.find(ToLower(name));
   return it == tables_.end() ? nullptr : &it->second;
 }
+
+TableInfo* Catalog::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindTableLocked(name);
+}
 const TableInfo* Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(ToLower(name));
   return it == tables_.end() ? nullptr : &it->second;
 }
 StreamInfo* Catalog::GetStream(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(ToLower(name));
   return it == streams_.end() ? nullptr : &it->second;
 }
 const StreamInfo* Catalog::GetStream(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(ToLower(name));
   return it == streams_.end() ? nullptr : &it->second;
 }
 ViewInfo* Catalog::GetView(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = views_.find(ToLower(name));
   return it == views_.end() ? nullptr : &it->second;
 }
 const ViewInfo* Catalog::GetView(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = views_.find(ToLower(name));
   return it == views_.end() ? nullptr : &it->second;
 }
 ChannelInfo* Catalog::GetChannel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = channels_.find(ToLower(name));
   return it == channels_.end() ? nullptr : &it->second;
 }
 const ChannelInfo* Catalog::GetChannel(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = channels_.find(ToLower(name));
   return it == channels_.end() ? nullptr : &it->second;
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' not found");
@@ -123,6 +141,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Status Catalog::DropStream(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(ToLower(name));
   if (it == streams_.end()) {
     return Status::NotFound("stream '" + name + "' not found");
@@ -132,6 +151,7 @@ Status Catalog::DropStream(const std::string& name) {
 }
 
 Status Catalog::DropView(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = views_.find(ToLower(name));
   if (it == views_.end()) {
     return Status::NotFound("view '" + name + "' not found");
@@ -141,6 +161,7 @@ Status Catalog::DropView(const std::string& name) {
 }
 
 Status Catalog::DropChannel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = channels_.find(ToLower(name));
   if (it == channels_.end()) {
     return Status::NotFound("channel '" + name + "' not found");
@@ -150,11 +171,12 @@ Status Catalog::DropChannel(const std::string& name) {
 }
 
 Status Catalog::DropIndex(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_owners_.find(ToLower(name));
   if (it == index_owners_.end()) {
     return Status::NotFound("index '" + name + "' not found");
   }
-  TableInfo* table = GetTable(it->second.table);
+  TableInfo* table = FindTableLocked(it->second.table);
   if (table != nullptr) {
     for (auto iit = table->indexes.begin(); iit != table->indexes.end();
          ++iit) {
@@ -169,6 +191,7 @@ Status Catalog::DropIndex(const std::string& name) {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, info] : tables_) names.push_back(info.name);
@@ -176,6 +199,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 std::vector<std::string> Catalog::StreamNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(streams_.size());
   for (const auto& [key, info] : streams_) names.push_back(info.name);
@@ -183,6 +207,7 @@ std::vector<std::string> Catalog::StreamNames() const {
 }
 
 std::vector<const ChannelInfo*> Catalog::Channels() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const ChannelInfo*> out;
   out.reserve(channels_.size());
   for (const auto& [key, info] : channels_) out.push_back(&info);

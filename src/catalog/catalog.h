@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,13 @@ struct ChannelInfo {
 /// The system catalog: name -> object for tables, streams, views, channels,
 /// and indexes. Tables, streams, and views share one namespace (they are all
 /// legal FROM targets); channels and indexes have their own.
+///
+/// Map operations serialize on an internal leaf mutex, so concurrent
+/// shared-mode readers and the quarantine path's lazy CreateStream (the one
+/// create that runs *without* the engine DDL lock held exclusive) are safe.
+/// Returned object pointers stay valid across concurrent creates because
+/// std::map nodes are stable; erases happen only under the exclusive engine
+/// lock, when no shared-mode holder can be mid-lookup.
 class Catalog {
  public:
   Catalog() = default;
@@ -92,9 +100,14 @@ class Catalog {
   std::vector<const ChannelInfo*> Channels() const;
 
  private:
-  /// Errors if `name` collides with any table/stream/view.
+  /// Errors if `name` collides with any table/stream/view. Caller holds mu_.
   Status CheckNameFree(const std::string& name) const;
+  /// Lookup without taking mu_ (for callers already holding it).
+  TableInfo* FindTableLocked(const std::string& name);
 
+  /// Leaf mutex: held only for map operations, never while acquiring any
+  /// other lock.
+  mutable std::mutex mu_;
   // Keys are lowercased names.
   std::map<std::string, TableInfo> tables_;
   std::map<std::string, StreamInfo> streams_;

@@ -1,5 +1,8 @@
 #include "engine/database.h"
 
+#include <mutex>
+#include <unordered_set>
+
 #include "common/fault_injector.h"
 #include "common/string_util.h"
 #include "exec/binder.h"
@@ -23,15 +26,43 @@ Database::Database(std::shared_ptr<storage::SimulatedDisk> disk,
                      disk_, options.wal_sync_every_append)),
       runtime_(&catalog_, &txns_, wal_.get()) {}
 
+bool Database::IsExclusiveStatement(const sql::Statement& stmt) {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kCreateTable:
+    case sql::StatementKind::kCreateStream:
+    case sql::StatementKind::kCreateDerivedStream:
+    case sql::StatementKind::kCreateView:
+    case sql::StatementKind::kCreateChannel:
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kDrop:
+    case sql::StatementKind::kSet:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Result<QueryResult> Database::Execute(const std::string& sql) {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  // Parsing needs no lock. Each statement then takes the engine rwlock in
+  // the mode its class requires: CREATE/DROP/SET reshape engine structure
+  // (catalog entries, CQ sets, worker fleets) and run exclusive — one at a
+  // time, with no data-plane work in flight. Everything else (SELECT, DML,
+  // SHOW STATS, faults, transactions) runs shared and concurrently;
+  // finer-grained locks (sys, stream, DML) serialize what actually
+  // conflicts.
   ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts, sql::ParseSql(sql));
   if (stmts.empty()) {
     return Status::InvalidArgument("no statement to execute");
   }
   QueryResult result;
   for (const auto& stmt : stmts) {
-    ASSIGN_OR_RETURN(result, ExecuteStatement(*stmt));
+    if (IsExclusiveStatement(*stmt)) {
+      ExclusiveLockGuard lock(&engine_lock_);
+      ASSIGN_OR_RETURN(result, ExecuteStatement(*stmt));
+    } else {
+      SharedLockGuard lock(&engine_lock_);
+      ASSIGN_OR_RETURN(result, ExecuteStatement(*stmt));
+    }
   }
   return result;
 }
@@ -102,7 +133,11 @@ bool IsSystemName(const std::string& name) {
 }  // namespace
 
 Status Database::RefreshSystemTables() {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  // Shared engine keeps DDL out (a no-op when the caller already holds the
+  // lock); the sys lock serializes rebuilds against each other and against
+  // the SELECTs that scan sys tables while holding it.
+  SharedLockGuard engine(&engine_lock_);
+  std::lock_guard<OrderedMutex> sys_lock(sys_mu_);
   // (Re)create each sys table and fill it from live state. The writes
   // bypass the WAL: system tables are derived data, rebuilt on demand.
   auto ensure = [&](const std::string& name,
@@ -207,11 +242,20 @@ Status Database::RefreshSystemTables() {
         txn, /*wal=*/nullptr));
   }
 
-  return txns_.Commit(txn, now_micros_).status();
+  return txns_.Commit(txn, now_micros()).status();
 }
 
 Result<QueryResult> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
-  RETURN_IF_ERROR(RefreshSystemTables());
+  // Queries over sys_* tables (directly or through views) rebuild them
+  // first and keep the sys lock across the scan, so a concurrent refresh
+  // can never truncate a sys table mid-read. Other SELECTs skip the
+  // refresh: they read user tables, which are MVCC-safe against
+  // concurrent DML.
+  std::unique_lock<OrderedMutex> sys_lock(sys_mu_, std::defer_lock);
+  if (SelectReferencesSysTables(stmt)) {
+    sys_lock.lock();
+    RETURN_IF_ERROR(RefreshSystemTables());
+  }
   exec::Planner planner(&catalog_);
   ASSIGN_OR_RETURN(exec::PlannedQuery plan, planner.PlanSelect(stmt));
   if (plan.is_continuous()) {
@@ -222,10 +266,10 @@ Result<QueryResult> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
   exec::ExecContext ctx;
   ctx.txns = &txns_;
   ctx.snapshot = txns_.CurrentSnapshot();
-  ctx.eval.now_micros = now_micros_;
+  ctx.eval.now_micros = now_micros();
   // Inside an explicit transaction, reads see the transaction's own
   // uncommitted writes.
-  ctx.reader = active_txn_.value_or(storage::kInvalidTxn);
+  ctx.reader = active_txn_.load(std::memory_order_relaxed);
   QueryResult result;
   result.schema = plan.output_schema;
   ASSIGN_OR_RETURN(result.rows, exec::CollectRows(plan.root.get(), &ctx));
@@ -238,7 +282,7 @@ Result<QueryResult> Database::ExecuteInsert(const sql::InsertStmt& stmt) {
   Schema empty;
   exec::ExprBinder binder(empty);
   exec::EvalContext eval_ctx;
-  eval_ctx.now_micros = now_micros_;
+  eval_ctx.now_micros = now_micros();
   std::vector<Row> rows;
   rows.reserve(stmt.rows.size());
   for (const auto& exprs : stmt.rows) {
@@ -294,6 +338,11 @@ Result<QueryResult> Database::ExecuteInsert(const sql::InsertStmt& stmt) {
     }
   }
 
+  // Table writes serialize on the runtime's DML lock: shared engine mode
+  // admits concurrent DML statements, and channel sink writes take the
+  // same lock. (The stream branch above must NOT hold it — ingest takes
+  // stream locks, which rank below DML.)
+  std::lock_guard<OrderedMutex> dml_lock(*runtime_.dml_mutex());
   bool autocommit = false;
   ASSIGN_OR_RETURN(storage::TxnId txn, BeginWrite(&autocommit));
   for (const Row& row : full_rows) {
@@ -307,9 +356,12 @@ Result<QueryResult> Database::ExecuteInsert(const sql::InsertStmt& stmt) {
 }
 
 Result<storage::TxnId> Database::BeginWrite(bool* autocommit) {
-  if (active_txn_.has_value()) {
+  // Callers hold the DML lock, so the check-then-act on active_txn_ is
+  // race-free against BEGIN/COMMIT.
+  const storage::TxnId open = active_txn_.load(std::memory_order_relaxed);
+  if (open != storage::kInvalidTxn) {
     *autocommit = false;
-    return *active_txn_;
+    return open;
   }
   *autocommit = true;
   storage::TxnId txn = txns_.Begin();
@@ -325,18 +377,23 @@ Status Database::EndWrite(storage::TxnId txn, bool autocommit) {
   storage::WalRecord commit;
   commit.type = storage::WalRecordType::kCommit;
   commit.txn_id = txn;
-  commit.int_payload = now_micros_;
+  commit.int_payload = now_micros();
   RETURN_IF_ERROR(wal_->Append(commit));
   RETURN_IF_ERROR(wal_->Sync());
-  return txns_.Commit(txn, now_micros_).status();
+  return txns_.Commit(txn, now_micros()).status();
 }
 
 Result<QueryResult> Database::ExecuteTransaction(
     const sql::TransactionStmt& stmt) {
+  // BEGIN/COMMIT/ROLLBACK take the DML lock: the check-then-act on the
+  // open transaction must not interleave with a concurrent write picking
+  // its transaction (or with another BEGIN).
+  std::lock_guard<OrderedMutex> dml_lock(*runtime_.dml_mutex());
   QueryResult result;
+  const storage::TxnId open = active_txn_.load(std::memory_order_relaxed);
   switch (stmt.op) {
     case sql::TransactionOp::kBegin: {
-      if (active_txn_.has_value()) {
+      if (open != storage::kInvalidTxn) {
         return Status::InvalidArgument("a transaction is already open");
       }
       storage::TxnId txn = txns_.Begin();
@@ -344,35 +401,35 @@ Result<QueryResult> Database::ExecuteTransaction(
       begin.type = storage::WalRecordType::kBegin;
       begin.txn_id = txn;
       RETURN_IF_ERROR(wal_->Append(begin));
-      active_txn_ = txn;
+      active_txn_.store(txn, std::memory_order_relaxed);
       result.message = "BEGIN";
       return result;
     }
     case sql::TransactionOp::kCommit: {
-      if (!active_txn_.has_value()) {
+      if (open == storage::kInvalidTxn) {
         return Status::InvalidArgument("no transaction is open");
       }
       storage::WalRecord commit;
       commit.type = storage::WalRecordType::kCommit;
-      commit.txn_id = *active_txn_;
-      commit.int_payload = now_micros_;
+      commit.txn_id = open;
+      commit.int_payload = now_micros();
       RETURN_IF_ERROR(wal_->Append(commit));
       RETURN_IF_ERROR(wal_->Sync());
-      RETURN_IF_ERROR(txns_.Commit(*active_txn_, now_micros_).status());
-      active_txn_.reset();
+      RETURN_IF_ERROR(txns_.Commit(open, now_micros()).status());
+      active_txn_.store(storage::kInvalidTxn, std::memory_order_relaxed);
       result.message = "COMMIT";
       return result;
     }
     case sql::TransactionOp::kRollback: {
-      if (!active_txn_.has_value()) {
+      if (open == storage::kInvalidTxn) {
         return Status::InvalidArgument("no transaction is open");
       }
       storage::WalRecord abort;
       abort.type = storage::WalRecordType::kAbort;
-      abort.txn_id = *active_txn_;
+      abort.txn_id = open;
       RETURN_IF_ERROR(wal_->Append(abort));
-      RETURN_IF_ERROR(txns_.Abort(*active_txn_));
-      active_txn_.reset();
+      RETURN_IF_ERROR(txns_.Abort(open));
+      active_txn_.store(storage::kInvalidTxn, std::memory_order_relaxed);
       result.message = "ROLLBACK";
       return result;
     }
@@ -389,11 +446,11 @@ Result<std::vector<std::pair<storage::RowId, Row>>> Database::CollectMatches(
   }
   std::vector<std::pair<storage::RowId, Row>> matches;
   exec::EvalContext eval;
-  eval.now_micros = now_micros_;
+  eval.now_micros = now_micros();
   Status inner = Status::OK();
   Status scan = table->heap->Scan(
       txns_, txns_.CurrentSnapshot(),
-      active_txn_.value_or(storage::kInvalidTxn),
+      active_txn_.load(std::memory_order_relaxed),
       [&](storage::RowId id, const Row& row) {
         if (predicate != nullptr) {
           auto keep = exec::EvalPredicate(*predicate, row, eval);
@@ -416,6 +473,9 @@ Result<QueryResult> Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt.table + "' does not exist");
   }
+  // DML lock across collect + rewrite: the rows we matched must still be
+  // the live versions when we delete/re-insert them.
+  std::lock_guard<OrderedMutex> dml_lock(*runtime_.dml_mutex());
   // Bind assignment targets and value expressions (values may reference
   // the old row, e.g. SET hits = hits + 1).
   exec::ExprBinder binder(table->schema);
@@ -452,6 +512,8 @@ Result<QueryResult> Database::ExecuteDelete(const sql::DeleteStmt& stmt) {
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt.table + "' does not exist");
   }
+  // DML lock across collect + delete (see ExecuteUpdate).
+  std::lock_guard<OrderedMutex> dml_lock(*runtime_.dml_mutex());
   ASSIGN_OR_RETURN(auto matches, CollectMatches(table, stmt.where.get()));
 
   bool autocommit = false;
@@ -468,7 +530,10 @@ Result<QueryResult> Database::ExecuteDelete(const sql::DeleteStmt& stmt) {
 }
 
 Result<QueryResult> Database::ExecuteVacuum(const sql::VacuumStmt& stmt) {
-  if (active_txn_.has_value()) {
+  // VACUUM compacts row versions in place; it must not interleave with
+  // writes, so it holds the DML lock like any other table mutation.
+  std::lock_guard<OrderedMutex> dml_lock(*runtime_.dml_mutex());
+  if (in_transaction()) {
     return Status::InvalidArgument(
         "VACUUM cannot run inside a transaction");
   }
@@ -478,7 +543,7 @@ Result<QueryResult> Database::ExecuteVacuum(const sql::VacuumStmt& stmt) {
   }
   ASSIGN_OR_RETURN(int64_t reclaimed,
                    stream::VacuumTable(table, &txns_, wal_.get(),
-                                       now_micros_));
+                                       now_micros()));
   QueryResult result;
   result.message = "VACUUM " + std::to_string(reclaimed);
   return result;
@@ -508,7 +573,10 @@ Result<QueryResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt) {
 }
 
 EngineStats Database::StatsSnapshot() {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  // Shared: stats run concurrently with ingest and with each other. Every
+  // source read below is either atomic, internally locked, or mutated only
+  // under the exclusive engine lock.
+  SharedLockGuard lock(&engine_lock_);
   stream::MetricsRegistry* metrics = runtime_.metrics();
   runtime_.RefreshMetricsGauges();
   EngineStats stats;
@@ -542,6 +610,40 @@ EngineStats Database::StatsSnapshot() {
   metrics->GetGauge("recovery", "faults", "hits")->Set(faults.hits);
   metrics->GetGauge("recovery", "faults", "fires")->Set(faults.fires);
   metrics->GetGauge("recovery", "faults", "crashes")->Set(faults.crashes);
+  // Lock-contention counters (DESIGN decision 11 / OBSERVABILITY): how
+  // often each tier of the hierarchy was taken and how often (and, for the
+  // engine rwlock, how long) an acquisition had to block.
+  metrics->GetGauge("engine", "lock", "shared_acquisitions")
+      ->Set(engine_lock_.shared_acquisitions());
+  metrics->GetGauge("engine", "lock", "shared_contended")
+      ->Set(engine_lock_.shared_contended());
+  metrics->GetGauge("engine", "lock", "shared_wait_micros")
+      ->Set(engine_lock_.shared_wait_micros());
+  metrics->GetGauge("engine", "lock", "exclusive_acquisitions")
+      ->Set(engine_lock_.exclusive_acquisitions());
+  metrics->GetGauge("engine", "lock", "exclusive_contended")
+      ->Set(engine_lock_.exclusive_contended());
+  metrics->GetGauge("engine", "lock", "exclusive_wait_micros")
+      ->Set(engine_lock_.exclusive_wait_micros());
+  metrics->GetGauge("engine", "lock", "sys_acquisitions")
+      ->Set(sys_mu_.acquisitions());
+  metrics->GetGauge("engine", "lock", "sys_contended")
+      ->Set(sys_mu_.contended());
+  metrics->GetGauge("engine", "lock", "shard_acquisitions")
+      ->Set(runtime_.shard_lock()->acquisitions());
+  metrics->GetGauge("engine", "lock", "shard_contended")
+      ->Set(runtime_.shard_lock()->contended());
+  metrics->GetGauge("engine", "lock", "dml_acquisitions")
+      ->Set(runtime_.dml_lock()->acquisitions());
+  metrics->GetGauge("engine", "lock", "dml_contended")
+      ->Set(runtime_.dml_lock()->contended());
+  int64_t stream_acquisitions = 0;
+  int64_t stream_contended = 0;
+  runtime_.StreamLockStats(&stream_acquisitions, &stream_contended);
+  metrics->GetGauge("engine", "lock", "stream_acquisitions")
+      ->Set(stream_acquisitions);
+  metrics->GetGauge("engine", "lock", "stream_contended")
+      ->Set(stream_contended);
   stats.metrics = metrics->Snapshot();
   for (const auto& [key, provider] : stats_providers_) {
     provider(&stats.metrics);
@@ -551,7 +653,9 @@ EngineStats Database::StatsSnapshot() {
 
 Result<Database::SubscriptionTicket> Database::Subscribe(
     const std::string& name, stream::CqCallback callback) {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  // Exclusive: attaching a callback mutates vectors that delivery reads
+  // lock-free under shared holds.
+  ExclusiveLockGuard lock(&engine_lock_);
   SubscriptionTicket ticket;
   ticket.object = ToLower(name);
   if (stream::ContinuousQuery* cq = runtime_.GetCq(name)) {
@@ -575,7 +679,7 @@ Result<Database::SubscriptionTicket> Database::Subscribe(
 }
 
 Status Database::Unsubscribe(const SubscriptionTicket& ticket) {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  ExclusiveLockGuard lock(&engine_lock_);
   if (ticket.is_cq) {
     // The CQ may have been dropped (its callbacks died with it).
     if (stream::ContinuousQuery* cq = runtime_.GetCq(ticket.object)) {
@@ -588,12 +692,12 @@ Status Database::Unsubscribe(const SubscriptionTicket& ticket) {
 
 void Database::RegisterStatsProvider(const std::string& key,
                                      StatsProvider provider) {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  ExclusiveLockGuard lock(&engine_lock_);
   stats_providers_[key] = std::move(provider);
 }
 
 void Database::UnregisterStatsProvider(const std::string& key) {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  ExclusiveLockGuard lock(&engine_lock_);
   stats_providers_.erase(key);
 }
 
@@ -820,7 +924,7 @@ Result<QueryResult> Database::ExecuteCreateTable(
   // them — logging them would duplicate rows under the re-run-DDL +
   // replay recovery flow.
   if (stmt.as_select != nullptr) {
-    if (active_txn_.has_value()) {
+    if (in_transaction()) {
       return Status::InvalidArgument(
           "CREATE TABLE AS cannot run inside a transaction");
     }
@@ -844,7 +948,7 @@ Result<QueryResult> Database::ExecuteCreateTable(
       RETURN_IF_ERROR(stream::InsertIntoTable(table, row, txn,
                                               /*wal=*/nullptr));
     }
-    RETURN_IF_ERROR(txns_.Commit(txn, now_micros_).status());
+    RETURN_IF_ERROR(txns_.Commit(txn, now_micros()).status());
     QueryResult result;
     result.message =
         "CREATE TABLE AS (" + std::to_string(select.rows.size()) + " rows)";
@@ -1119,10 +1223,31 @@ void CollectBaseRefs(const sql::TableRef& ref, std::vector<std::string>* out) {
 }
 }  // namespace
 
+bool Database::SelectReferencesSysTables(const sql::SelectStmt& stmt) const {
+  // Walk base refs, expanding views transitively (a view over sys_cqs must
+  // trigger the refresh just like a direct scan). The visited set guards
+  // against view cycles.
+  std::vector<std::string> pending;
+  CollectBaseRefs(stmt, &pending);
+  std::unordered_set<std::string> visited;
+  while (!pending.empty()) {
+    std::string name = ToLower(pending.back());
+    pending.pop_back();
+    if (!visited.insert(name).second) continue;
+    if (IsSystemName(name)) return true;
+    if (const catalog::ViewInfo* view = catalog_.GetView(name)) {
+      CollectBaseRefs(*view->select, &pending);
+    }
+  }
+  return false;
+}
+
 Result<stream::ContinuousQuery*> Database::CreateContinuousQuery(
     const std::string& name, const std::string& select_sql,
     bool allow_shared) {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  // Exclusive: creating a CQ splices into shared pipelines and callback
+  // vectors that ingest reads lock-free.
+  ExclusiveLockGuard lock(&engine_lock_);
   ASSIGN_OR_RETURN(sql::StatementPtr stmt,
                    sql::ParseSingleStatement(select_sql));
   if (stmt->kind() != sql::StatementKind::kSelect) {
@@ -1148,28 +1273,39 @@ Result<stream::ContinuousQuery*> Database::CreateContinuousQuery(
 }
 
 Status Database::DropContinuousQuery(const std::string& name) {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  ExclusiveLockGuard lock(&engine_lock_);
   return runtime_.DropCq(name);
 }
 
 Status Database::Ingest(const std::string& stream,
                         const std::vector<Row>& rows, int64_t system_time) {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  // Shared: disjoint streams ingest concurrently; the runtime's per-stream
+  // lock serializes same-stream batches. The logical clock is a CAS-max so
+  // racing ingests both land their watermarks.
+  SharedLockGuard lock(&engine_lock_);
   RETURN_IF_ERROR(runtime_.Ingest(stream, rows, system_time));
-  int64_t wm = runtime_.watermark(stream);
-  if (wm > now_micros_) now_micros_ = wm;
+  const int64_t wm = runtime_.watermark(stream);
+  int64_t cur = now_micros_.load(std::memory_order_relaxed);
+  while (wm > cur && !now_micros_.compare_exchange_weak(
+                         cur, wm, std::memory_order_relaxed)) {
+  }
   return Status::OK();
 }
 
 Status Database::AdvanceTime(const std::string& stream, int64_t watermark) {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  SharedLockGuard lock(&engine_lock_);
   RETURN_IF_ERROR(runtime_.AdvanceTime(stream, watermark));
-  if (watermark > now_micros_) now_micros_ = watermark;
+  int64_t cur = now_micros_.load(std::memory_order_relaxed);
+  while (watermark > cur && !now_micros_.compare_exchange_weak(
+                                cur, watermark, std::memory_order_relaxed)) {
+  }
   return Status::OK();
 }
 
 Result<stream::WalReplayResult> Database::RecoverFromWal() {
-  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  // Exclusive: replay rebuilds table contents and the runtime's recovery
+  // walkers iterate stream state with no finer-grained locking.
+  ExclusiveLockGuard lock(&engine_lock_);
   ASSIGN_OR_RETURN(stream::WalReplayResult replay,
                    stream::ReplayWal(&catalog_, &txns_, *wal_));
   ++recoveries_;

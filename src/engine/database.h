@@ -1,15 +1,16 @@
 #ifndef STREAMREL_ENGINE_DATABASE_H_
 #define STREAMREL_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/rwlock.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "exec/planner.h"
@@ -60,11 +61,21 @@ struct EngineStats {
 /// returns a handle for subscribing to its per-window results. Ingest()
 /// pushes ordered rows into a raw stream, driving the whole dataflow.
 ///
-/// Thread safety: the public entry points (Execute, Ingest, AdvanceTime,
-/// CreateContinuousQuery, DropContinuousQuery, StatsSnapshot, ...) serialize
-/// on one engine mutex, so concurrent callers are safe — statements execute
-/// one at a time. The mutex is recursive because CQ delivery callbacks fire
-/// inside Ingest and may legitimately call back into the database.
+/// Thread safety: public entry points follow the lock hierarchy of DESIGN
+/// decision 11. Control-plane statements (CREATE/DROP/SET, plus the
+/// control-plane APIs CreateContinuousQuery, DropContinuousQuery,
+/// Subscribe/Unsubscribe, Register/UnregisterStatsProvider, RecoverFromWal)
+/// take the engine rwlock exclusive and therefore still run one at a time.
+/// Everything else — Ingest, AdvanceTime, snapshot SELECTs, DML,
+/// StatsSnapshot, SHOW STATS — takes it shared, so data-plane work on
+/// disjoint streams runs concurrently: each ingest serializes only on its
+/// stream's own ingest lock, table DML serializes on the runtime's DML
+/// lock, and sys_* refreshes serialize on a dedicated sys-table lock. The
+/// rwlock is re-entrant (shared-under-anything is a no-op; exclusive
+/// recurses) because CQ delivery callbacks fire inside Ingest and may
+/// legitimately call back into data-plane entry points. Callbacks must NOT
+/// run control-plane statements: that would be a shared→exclusive upgrade,
+/// which debug builds abort on.
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions());
@@ -113,16 +124,27 @@ class Database {
 
   /// Logical clock: the max watermark observed across streams; INSERT
   /// transactions commit at this time (so CQ window-consistent snapshots
-  /// order them against window closes).
-  int64_t now_micros() const { return now_micros_; }
-  void SetClock(int64_t now) { now_micros_ = now; }
+  /// order them against window closes). Atomic: concurrent ingests on
+  /// disjoint streams race to CAS-max it.
+  int64_t now_micros() const {
+    return now_micros_.load(std::memory_order_relaxed);
+  }
+  void SetClock(int64_t now) {
+    now_micros_.store(now, std::memory_order_relaxed);
+  }
 
   /// True while an explicit BEGIN ... COMMIT/ROLLBACK block is open.
-  bool in_transaction() const { return active_txn_.has_value(); }
+  bool in_transaction() const {
+    return active_txn_.load(std::memory_order_relaxed) !=
+           storage::kInvalidTxn;
+  }
 
   /// Rebuilds the sys_* introspection tables (sys_tables, sys_streams,
   /// sys_cqs, sys_channels) from current catalog/runtime state. Runs
-  /// automatically before every snapshot SELECT; exposed for tools.
+  /// automatically before snapshot SELECTs that reference a sys_* table
+  /// (directly or through a view); exposed for tools. Serializes on the
+  /// sys-table lock so two refreshes (or a refresh and a sys scan) never
+  /// interleave.
   Status RefreshSystemTables();
 
   /// Refreshes pull-style gauges (and WAL/disk totals) and returns the
@@ -145,8 +167,11 @@ class Database {
 
   /// Attaches `callback` to a CQ's window-close results or a stream's
   /// published batches (CQ names win when both exist). The callback fires
-  /// under the engine mutex on whatever thread drives ingest; it must not
-  /// block indefinitely and must not fail the engine (return OK).
+  /// holding the shared engine lock and the source stream's ingest lock,
+  /// on whatever thread drives ingest; it must not block indefinitely,
+  /// must not run control-plane statements (CREATE/DROP/SET — that is a
+  /// lock upgrade, aborted in debug builds), and must not fail the engine
+  /// (return OK).
   Result<SubscriptionTicket> Subscribe(const std::string& name,
                                        stream::CqCallback callback);
 
@@ -155,14 +180,24 @@ class Database {
   Status Unsubscribe(const SubscriptionTicket& ticket);
 
   /// Extra metric sources folded into StatsSnapshot() (the network server
-  /// publishes its `net` scope this way). Providers run under the engine
-  /// mutex; re-registering a key replaces the provider.
+  /// publishes its `net` scope this way). Providers run holding the shared
+  /// engine lock and must be thread-safe against themselves (concurrent
+  /// StatsSnapshot calls overlap); re-registering a key replaces the
+  /// provider.
   using StatsProvider =
       std::function<void(std::vector<stream::MetricSample>*)>;
   void RegisterStatsProvider(const std::string& key, StatsProvider provider);
   void UnregisterStatsProvider(const std::string& key);
 
  private:
+  /// True for statements that mutate engine structure (CREATE/DROP/SET)
+  /// and therefore take the engine rwlock exclusive; everything else runs
+  /// shared.
+  static bool IsExclusiveStatement(const sql::Statement& stmt);
+  /// True when the SELECT reads a sys_* table, directly or transitively
+  /// through views — those queries refresh and scan under the sys lock.
+  bool SelectReferencesSysTables(const sql::SelectStmt& stmt) const;
+
   Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
   Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt);
   Result<QueryResult> ExecuteInsert(const sql::InsertStmt& stmt);
@@ -198,19 +233,28 @@ class Database {
   Result<Schema> SchemaFromColumnDefs(
       const std::vector<sql::ColumnDef>& defs) const;
 
-  /// Serializes all public entry points (recursive: delivery callbacks
-  /// re-enter the engine from inside Ingest on the same thread).
-  mutable std::recursive_mutex engine_mu_;
+  /// Rank kEngine (the root of the lock hierarchy, DESIGN decision 11):
+  /// exclusive for control-plane statements, shared for everything else.
+  mutable EngineRwLock engine_lock_;
+  /// Rank kSys: serializes sys_* table refreshes against each other and
+  /// against the SELECTs that scan them (both run under shared engine).
+  mutable OrderedMutex sys_mu_{LockRank::kSys, /*allow_same_rank=*/false,
+                               "sys tables"};
   DatabaseOptions options_;
   std::shared_ptr<storage::SimulatedDisk> disk_;
   std::shared_ptr<storage::WriteAheadLog> wal_;
   storage::TransactionManager txns_;
   catalog::Catalog catalog_;
   stream::StreamRuntime runtime_;
-  int64_t now_micros_ = 0;
-  std::optional<storage::TxnId> active_txn_;
+  /// CAS-maxed by concurrent ingests; read lock-free everywhere.
+  std::atomic<int64_t> now_micros_{0};
+  /// The open explicit transaction (kInvalidTxn when none). Mutated only
+  /// under the runtime's DML lock, read lock-free by snapshot SELECTs.
+  std::atomic<storage::TxnId> active_txn_{storage::kInvalidTxn};
+  /// Mutated under exclusive engine only; iterated under shared.
   std::map<std::string, StatsProvider> stats_providers_;
   // Recovery counters surfaced under the `recovery` scope in SHOW STATS.
+  // Written under exclusive engine (RecoverFromWal), read under shared.
   int64_t recoveries_ = 0;
   int64_t last_replay_rows_ = 0;
   int64_t last_replay_txns_ = 0;

@@ -29,8 +29,10 @@ int64_t ElapsedMicros(Clock::time_point since) {
       .count();
 }
 
-/// Delivery threads poll the consumer's queue at this grain while a
-/// BLOCK-policy push waits for room.
+/// Upper bound on one condvar wait while a BLOCK-policy push waits for
+/// room: deliveries are woken promptly when TryFlush retires bytes, and
+/// this bound guarantees the waiter re-runs its own TryFlush even if no
+/// signal arrives (the loop thread may be blocked on the engine lock).
 constexpr int64_t kBlockPollMicros = 200;
 
 Status Errno(const char* what) {
@@ -106,11 +108,17 @@ Status Server::Start() {
   RETURN_IF_ERROR(SetNonBlocking(wake_fds_[1]));
   stop_requested_.store(false);
   drain_requested_.store(false);
+  workers_stop_.store(false);
   running_.store(true, std::memory_order_release);
   db_->RegisterStatsProvider(
       "net", [this](std::vector<stream::MetricSample>* samples) {
         AppendNetStats(samples);
       });
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->thread = std::thread(&Server::WorkerLoop, this, worker.get());
+    workers_.push_back(std::move(worker));
+  }
   loop_thread_ = std::thread(&Server::Loop, this);
   return Status::OK();
 }
@@ -129,6 +137,14 @@ void Server::ShutdownInternal(bool graceful) {
   }
   Wake();
   loop_thread_.join();
+  // Workers drain their remaining queues and exit; responses for already
+  // reaped connections are dropped by the dead/closed checks.
+  workers_stop_.store(true);
+  for (auto& worker : workers_) {
+    worker->cv.notify_all();
+    worker->thread.join();
+  }
+  workers_.clear();
   db_->UnregisterStatsProvider("net");
   for (int& fd : wake_fds_) {
     if (fd >= 0) {
@@ -163,15 +179,26 @@ void Server::Loop() {
         listen_fd_ = -1;
       }
       for (auto& [fd, conn] : conns_) {
-        for (Subscription& sub : conn->subs) {
+        // Detach under the connection lock (a worker may be mid-SUBSCRIBE),
+        // but call the engine without it: Unsubscribe takes the exclusive
+        // engine lock, and delivery callbacks holding it shared also take
+        // conn->mu.
+        std::vector<Subscription> subs;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          subs = std::move(conn->subs);
+          conn->subs.clear();
+        }
+        for (Subscription& sub : subs) {
           db_->Unsubscribe(sub.ticket);
           counters_.subscriptions_active.fetch_sub(1);
         }
-        conn->subs.clear();
       }
     }
     if (draining) {
-      bool pending = false;
+      // Requests still in worker queues may yet enqueue responses; wait
+      // for them before judging the send queues final.
+      bool pending = tasks_inflight_.load() > 0;
       for (auto& [fd, conn] : conns_) {
         std::lock_guard<std::mutex> lock(conn->mu);
         if (!conn->dead && !conn->out.empty()) pending = true;
@@ -312,7 +339,7 @@ void Server::HandleReadable(const ConnPtr& conn) {
       KillConnection(conn);
       return;
     }
-    DispatchFrame(conn, std::move(frame));
+    SubmitFrame(conn, std::move(frame));
     bool dead;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
@@ -323,6 +350,40 @@ void Server::HandleReadable(const ConnPtr& conn) {
   if (conn->read_off > 0) {
     conn->read_buf.erase(0, conn->read_off);
     conn->read_off = 0;
+  }
+}
+
+void Server::SubmitFrame(const ConnPtr& conn, Frame frame) {
+  if (workers_.empty()) {
+    DispatchFrame(conn, std::move(frame));
+    return;
+  }
+  Worker* worker = workers_[conn->id % workers_.size()].get();
+  tasks_inflight_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    worker->queue.push_back(Task{conn, std::move(frame)});
+  }
+  worker->cv.notify_one();
+}
+
+void Server::WorkerLoop(Worker* worker) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(worker->mu);
+      worker->cv.wait(lock, [&] {
+        return workers_stop_.load() || !worker->queue.empty();
+      });
+      // On shutdown the queue is drained before exiting, so a request
+      // accepted before Stop()/Drain() still executes (its response is
+      // simply dropped if the connection is already gone).
+      if (worker->queue.empty()) return;
+      task = std::move(worker->queue.front());
+      worker->queue.pop_front();
+    }
+    DispatchFrame(task.conn, std::move(task.frame));
+    tasks_inflight_.fetch_sub(1);
   }
 }
 
@@ -459,14 +520,23 @@ void Server::DoIngest(const ConnPtr& conn, uint64_t request_id,
 void Server::DoSubscribe(const ConnPtr& conn, uint64_t request_id,
                          const std::string& name) {
   const std::string key = ToLower(name);
-  for (const Subscription& sub : conn->subs) {
-    if (ToLower(sub.name) == key) {
-      EnqueueResponse(conn,
-                      Frame{FrameType::kError, request_id,
-                            EncodeErrorBody(Status::AlreadyExists(
-                                "already subscribed to '" + name + "'"))});
-      return;
+  bool duplicate = false;
+  {
+    // Same-connection requests are serialized on one worker, so the
+    // dup-check/insert pair below cannot race itself; the lock protects
+    // against the loop thread detaching subs concurrently (drain, reap).
+    // EnqueueResponse takes conn->mu itself, so respond after unlocking.
+    std::lock_guard<std::mutex> lock(conn->mu);
+    for (const Subscription& sub : conn->subs) {
+      if (ToLower(sub.name) == key) duplicate = true;
     }
+  }
+  if (duplicate) {
+    EnqueueResponse(conn,
+                    Frame{FrameType::kError, request_id,
+                          EncodeErrorBody(Status::AlreadyExists(
+                              "already subscribed to '" + name + "'"))});
+    return;
   }
   // The callback needs the source stream (for the overload policy), which
   // the ticket reports only after Subscribe returns; it is shared state
@@ -499,7 +569,19 @@ void Server::DoSubscribe(const ConnPtr& conn, uint64_t request_id,
   sub.name = name;
   sub.policy_stream = *policy_stream;
   sub.request_id = request_id;
-  conn->subs.push_back(std::move(sub));
+  bool reaped = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    reaped = conn->closed.load(std::memory_order_acquire);
+    if (!reaped) conn->subs.push_back(std::move(sub));
+  }
+  if (reaped) {
+    // The loop thread reaped the connection between Subscribe and the
+    // insert; it already detached everything it saw, so detach this
+    // ticket ourselves instead of leaking the callback.
+    db_->Unsubscribe(sub.ticket);
+    return;
+  }
   counters_.subscriptions_active.fetch_add(1);
   EnqueueResponse(conn, Frame{FrameType::kAck, request_id,
                               EncodeAckBody("SUBSCRIBED " + name)});
@@ -508,15 +590,27 @@ void Server::DoSubscribe(const ConnPtr& conn, uint64_t request_id,
 void Server::DoUnsubscribe(const ConnPtr& conn, uint64_t request_id,
                            const std::string& name) {
   const std::string key = ToLower(name);
-  for (auto it = conn->subs.begin(); it != conn->subs.end(); ++it) {
-    if (ToLower(it->name) == key) {
-      db_->Unsubscribe(it->ticket);
-      conn->subs.erase(it);
-      counters_.subscriptions_active.fetch_sub(1);
-      EnqueueResponse(conn, Frame{FrameType::kAck, request_id,
-                                  EncodeAckBody("UNSUBSCRIBED " + name)});
-      return;
+  bool found = false;
+  engine::Database::SubscriptionTicket ticket;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    for (auto it = conn->subs.begin(); it != conn->subs.end(); ++it) {
+      if (ToLower(it->name) == key) {
+        ticket = std::move(it->ticket);
+        conn->subs.erase(it);
+        found = true;
+        break;
+      }
     }
+  }
+  if (found) {
+    // Engine call outside conn->mu (Unsubscribe takes the exclusive
+    // engine lock; delivery callbacks holding it shared take conn->mu).
+    db_->Unsubscribe(ticket);
+    counters_.subscriptions_active.fetch_sub(1);
+    EnqueueResponse(conn, Frame{FrameType::kAck, request_id,
+                                EncodeAckBody("UNSUBSCRIBED " + name)});
+    return;
   }
   EnqueueResponse(conn, Frame{FrameType::kError, request_id,
                               EncodeErrorBody(Status::NotFound(
@@ -547,8 +641,9 @@ void Server::EnqueuePush(const ConnPtr& conn,
   MemoryGovernor* governor = db_->runtime()->governor();
   const size_t sz = bytes.size();
   const size_t limit = options_.max_send_queue_bytes;
-  // Called under the engine mutex: the policy read is consistent with the
-  // delivery that produced this batch.
+  // Called holding the shared engine lock and the source stream's ingest
+  // lock: the policy read is consistent with the delivery that produced
+  // this batch.
   const stream::OverloadPolicy policy =
       db_->runtime()->overload_policy(policy_stream);
 
@@ -602,11 +697,18 @@ void Server::EnqueuePush(const ConnPtr& conn,
         }
         if (conn->out_push_bytes + sz <= limit) {
           admit_locked(std::move(bytes));
+          conn->drain_cv.notify_all();  // evictions freed push bytes
           lock.unlock();
           Wake();
         } else {
-          // One frame larger than the whole bound: shed it.
+          // One frame larger than the whole bound: shed it. The evictions
+          // above may still have freed queue space, so wake the loop (to
+          // reconsider POLLOUT) and any BLOCK-policy delivery waiting on
+          // this connection for another stream.
           counters_.pushes_shed.fetch_add(1);
+          conn->drain_cv.notify_all();
+          lock.unlock();
+          Wake();
         }
         return;
       }
@@ -615,8 +717,12 @@ void Server::EnqueuePush(const ConnPtr& conn,
     }
   }
   // BLOCK: bounded wait for the consumer to drain. We flush the socket
-  // ourselves — the loop thread may be parked on the engine mutex this
-  // delivery holds, so waiting on it would deadlock.
+  // ourselves — the loop thread may itself be blocked on the engine lock
+  // (an exclusive DDL acquisition queued behind the shared hold this
+  // delivery rides on), so waiting on it could deadlock. The drain
+  // condvar wakes us the moment TryFlush retires bytes (or the connection
+  // dies); the bounded wait keeps the self-flush fallback alive even if
+  // every signal is missed.
   const Clock::time_point deadline =
       Clock::now() + std::chrono::microseconds(options_.block_timeout_micros);
   for (;;) {
@@ -640,9 +746,11 @@ void Server::EnqueuePush(const ConnPtr& conn,
         counters_.pushes_disconnected.fetch_add(1);
         counters_.slow_disconnects.fetch_add(1);
       } else {
-        lock.unlock();
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(kBlockPollMicros));
+        conn->drain_cv.wait_for(
+            lock, std::chrono::microseconds(kBlockPollMicros), [&] {
+              return conn->dead || conn->closed.load() ||
+                     conn->out_push_bytes + sz <= limit;
+            });
         continue;
       }
     }
@@ -658,58 +766,71 @@ void Server::TryFlush(const ConnPtr& conn) {
   if (!FaultInjector::Instance().Hit("net.write").ok()) {
     conn->dead = true;
     conn->broken = true;
+    conn->drain_cv.notify_all();
     return;
   }
   MemoryGovernor* governor = db_->runtime()->governor();
+  bool progressed = false;
   while (!conn->out.empty()) {
     OutFrame& front = conn->out.front();
     ssize_t n = send(conn->fd, front.bytes.data() + front.offset,
                      front.bytes.size() - front.offset, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       conn->dead = true;
       conn->broken = true;
+      conn->drain_cv.notify_all();
       return;
     }
     counters_.bytes_out.fetch_add(n);
     front.offset += static_cast<size_t>(n);
-    if (front.offset < front.bytes.size()) return;  // socket full mid-frame
+    if (front.offset < front.bytes.size()) break;  // socket full mid-frame
     const size_t sz = front.bytes.size();
     governor->Release(MemoryGovernor::Account::kNetSendQueue,
                       static_cast<int64_t>(sz));
     conn->out_bytes -= sz;
     if (front.is_push) conn->out_push_bytes -= sz;
     conn->out.pop_front();
+    progressed = true;
   }
+  // Wake BLOCK-policy deliveries the moment queue bytes retire.
+  if (progressed) conn->drain_cv.notify_all();
 }
 
 void Server::KillConnection(const ConnPtr& conn) {
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->dead = true;
+    conn->drain_cv.notify_all();
   }
   Wake();
 }
 
 void Server::Reap(const ConnPtr& conn) {
-  // Detach subscriptions first so no new pushes arrive, then try to get
-  // any queued error/ack out before the socket goes away.
-  for (Subscription& sub : conn->subs) {
-    db_->Unsubscribe(sub.ticket);
-    counters_.subscriptions_active.fetch_sub(1);
-  }
-  conn->subs.clear();
+  // Mark the connection reaped and detach its subscriptions under the
+  // lock (a worker may be mid-SUBSCRIBE; `closed` tells it to detach its
+  // own late ticket), but call the engine without it: Unsubscribe takes
+  // the exclusive engine lock, and delivery callbacks holding it shared
+  // take conn->mu.
+  std::vector<Subscription> subs;
   bool broken;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed.store(true, std::memory_order_release);
+    subs = std::move(conn->subs);
+    conn->subs.clear();
     broken = conn->broken;
     if (!broken) conn->dead = false;  // let the final flush run
   }
+  for (Subscription& sub : subs) {
+    db_->Unsubscribe(sub.ticket);
+    counters_.subscriptions_active.fetch_sub(1);
+  }
+  // Try to get any queued error/ack out before the socket goes away.
   if (!broken) TryFlush(conn);
   std::lock_guard<std::mutex> lock(conn->mu);
   conn->dead = true;
-  conn->closed.store(true, std::memory_order_release);
   MemoryGovernor* governor = db_->runtime()->governor();
   for (const OutFrame& frame : conn->out) {
     governor->Release(MemoryGovernor::Account::kNetSendQueue,
@@ -722,6 +843,7 @@ void Server::Reap(const ConnPtr& conn) {
     close(conn->fd);
     conn->fd = -1;
   }
+  conn->drain_cv.notify_all();
   counters_.connections_closed.fetch_add(1);
 }
 

@@ -2,6 +2,7 @@
 #define STREAMREL_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -37,6 +38,14 @@ struct ServerOptions {
   /// minimum so a non-reading subscriber back-pressures after a few KB
   /// instead of after megabytes of kernel buffering.
   int so_sndbuf = 0;
+  /// Request-dispatch workers: decoded frames (QUERY, INGEST_BATCH,
+  /// SUBSCRIBE, ...) execute on this many threads, so requests from
+  /// different connections — in particular INGEST_BATCH on disjoint
+  /// streams — run concurrently under the engine's shared lock. A
+  /// connection's frames always route to the same worker, preserving
+  /// per-connection FIFO order. 0 executes frames inline on the event-loop
+  /// thread (the pre-pool behavior).
+  int worker_threads = 4;
 };
 
 /// Point-in-time network-front-end counters (the struct twin of
@@ -68,14 +77,16 @@ struct NetStats {
   int64_t send_queue_bytes = 0;
 };
 
-/// The TCP front-end: a poll() event loop on one thread, non-blocking
-/// sockets, per-connection session state. Requests execute on the loop
-/// thread through Database (which serializes on the engine mutex), so a
-/// network session sees exactly the in-process semantics. SUBSCRIBE
-/// attaches a Database::Subscribe callback that fans window-close batches
-/// out to the connection's bounded send queue; the source stream's
-/// overload policy decides whether a slow consumer blocks the delivery,
-/// sheds batches, or is disconnected.
+/// The TCP front-end: a poll() event loop on one thread for socket I/O,
+/// plus a small worker pool that executes decoded request frames through
+/// Database. The engine's reader-writer lock hierarchy admits the workers
+/// concurrently for data-plane requests (ingest on disjoint streams
+/// parallelizes; DDL still serializes exclusively), and each connection's
+/// frames run on one fixed worker, so a network session sees exactly the
+/// in-process semantics. SUBSCRIBE attaches a Database::Subscribe callback
+/// that fans window-close batches out to the connection's bounded send
+/// queue; the source stream's overload policy decides whether a slow
+/// consumer blocks the delivery, sheds batches, or is disconnected.
 ///
 /// Fault points (FaultInjector): `net.accept`, `net.read`, `net.write` —
 /// a fired fault kills the connection, never the engine.
@@ -119,7 +130,7 @@ class Server {
 
   struct Connection {
     uint64_t id = 0;
-    /// Guards fd (for writes/close), the send queue, and `dead`.
+    /// Guards fd (for writes/close), the send queue, `dead`, and `subs`.
     std::mutex mu;
     int fd = -1;
     bool dead = false;    // marked for reaping by the loop thread
@@ -127,17 +138,41 @@ class Server {
     std::deque<OutFrame> out;
     size_t out_bytes = 0;       // total queued bytes (governor-charged)
     size_t out_push_bytes = 0;  // queued push bytes (policy bound)
+    /// Signaled whenever queued bytes are released (or the connection
+    /// dies), so BLOCK-policy deliveries wake as soon as there is room
+    /// instead of busy-polling.
+    std::condition_variable drain_cv;
     /// Set once the loop thread has reaped the connection; delivery
     /// callbacks that still hold the shared_ptr become no-ops.
     std::atomic<bool> closed{false};
     // Loop-thread-only state (no lock needed).
     std::string read_buf;
     size_t read_off = 0;
+    /// Guarded by mu: mutated by the owning worker (SUBSCRIBE /
+    /// UNSUBSCRIBE frames) and detached by the loop thread (drain, reap).
     std::vector<Subscription> subs;
   };
   using ConnPtr = std::shared_ptr<Connection>;
 
+  /// One request-dispatch worker: a thread draining a FIFO of decoded
+  /// frames. conn->id % workers_.size() picks the queue, so one
+  /// connection's requests never reorder or run concurrently.
+  struct Task {
+    ConnPtr conn;
+    Frame frame;
+  };
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Task> queue;  // guarded by mu
+    std::thread thread;
+  };
+
   void Loop();
+  void WorkerLoop(Worker* worker);
+  /// Routes a decoded frame to its connection's worker (or runs it inline
+  /// when the pool is disabled).
+  void SubmitFrame(const ConnPtr& conn, Frame frame);
   void AcceptNew();
   void HandleReadable(const ConnPtr& conn);
   void DispatchFrame(const ConnPtr& conn, Frame frame);
@@ -153,8 +188,9 @@ class Server {
   /// Enqueues a response frame (never shed; the client awaits it).
   void EnqueueResponse(const ConnPtr& conn, const Frame& frame);
   /// Enqueues a pushed subscription frame under `policy_stream`'s overload
-  /// policy; called under the engine mutex from delivery callbacks (on
-  /// whatever thread drives ingest).
+  /// policy; called from delivery callbacks holding the shared engine lock
+  /// and the source stream's ingest lock (on whatever thread drives
+  /// ingest). Must never call back into db_.
   void EnqueuePush(const ConnPtr& conn, const std::string& policy_stream,
                    std::string bytes);
 
@@ -186,6 +222,16 @@ class Server {
 
   std::map<int, ConnPtr> conns_;  // loop-thread-only, keyed by fd
   uint64_t next_conn_id_ = 1;
+
+  // Request-dispatch pool (empty when worker_threads == 0). Workers are
+  // started by Start() and joined by ShutdownInternal() after the loop
+  // thread exits (they drain their queues first, so a request received
+  // before shutdown still executes).
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> workers_stop_{false};
+  /// Frames submitted but not yet fully processed; Drain() waits for this
+  /// to reach zero before declaring send queues final.
+  std::atomic<int64_t> tasks_inflight_{0};
 
   // Counters shared between the loop thread and delivery threads.
   struct {

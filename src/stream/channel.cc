@@ -121,20 +121,22 @@ Channel::Channel(catalog::ChannelInfo info, catalog::TableInfo* table,
     : info_(std::move(info)), table_(table), txns_(txns), wal_(wal) {}
 
 Status Channel::OnRawRows(int64_t at, const std::vector<Row>& rows) {
-  if (at < watermark_ || rows.empty()) return Status::OK();
+  if (at < watermark() || rows.empty()) return Status::OK();
   // Temporarily lower the recorded watermark so OnBatch accepts `at` even
   // when it equals the previous group's watermark. If the batch fails, the
   // prior watermark must come back: leaving it at `at - 1` would let a
   // redelivered earlier group slip past the dedup check and double-apply.
-  const int64_t prior = watermark_;
-  watermark_ = at - 1;
+  // (Only this stream's ingest lock holder mutates the watermark, so the
+  // interim value is never observed by another writer.)
+  const int64_t prior = watermark();
+  SetWatermark(at - 1);
   Status status = OnBatch(at, rows);
-  if (!status.ok()) watermark_ = prior;
+  if (!status.ok()) SetWatermark(prior);
   return status;
 }
 
 Status Channel::OnBatch(int64_t close, const std::vector<Row>& rows) {
-  if (close <= watermark_) return Status::OK();  // already persisted
+  if (close <= watermark()) return Status::OK();  // already persisted
   RETURN_IF_ERROR(FaultInjector::Instance().Hit("channel.sink"));
 
   storage::TxnId txn = txns_->Begin();
@@ -183,9 +185,10 @@ Status Channel::OnBatch(int64_t close, const std::vector<Row>& rows) {
   // boundary it belongs to.
   RETURN_IF_ERROR(txns_->Commit(txn, close).status());
 
-  watermark_ = close;
-  ++batches_persisted_;
-  rows_persisted_ += static_cast<int64_t>(rows.size());
+  SetWatermark(close);
+  batches_persisted_.fetch_add(1, std::memory_order_relaxed);
+  rows_persisted_.fetch_add(static_cast<int64_t>(rows.size()),
+                            std::memory_order_relaxed);
   if (batches_metric_ != nullptr) batches_metric_->Add();
   if (rows_metric_ != nullptr) {
     rows_metric_->Add(static_cast<int64_t>(rows.size()));

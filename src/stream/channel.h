@@ -1,6 +1,7 @@
 #ifndef STREAMREL_STREAM_CHANNEL_H_
 #define STREAMREL_STREAM_CHANNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,11 +43,19 @@ class Channel {
   /// values), so only `at < watermark` is skipped.
   Status OnRawRows(int64_t at, const std::vector<Row>& rows);
 
-  int64_t watermark() const { return watermark_; }
-  void SetWatermark(int64_t watermark) { watermark_ = watermark; }
+  int64_t watermark() const {
+    return watermark_.load(std::memory_order_relaxed);
+  }
+  void SetWatermark(int64_t watermark) {
+    watermark_.store(watermark, std::memory_order_relaxed);
+  }
 
-  int64_t batches_persisted() const { return batches_persisted_; }
-  int64_t rows_persisted() const { return rows_persisted_; }
+  int64_t batches_persisted() const {
+    return batches_persisted_.load(std::memory_order_relaxed);
+  }
+  int64_t rows_persisted() const {
+    return rows_persisted_.load(std::memory_order_relaxed);
+  }
 
   /// Optional observability hookup: mirrors persisted batch/row counts and
   /// the last commit watermark into registry-owned metrics. Any pointer
@@ -66,9 +75,12 @@ class Channel {
   catalog::TableInfo* table_;
   storage::TransactionManager* txns_;
   storage::WriteAheadLog* wal_;
-  int64_t watermark_ = INT64_MIN;
-  int64_t batches_persisted_ = 0;
-  int64_t rows_persisted_ = 0;
+  // Atomics: mutated under the source stream's ingest lock (plus the DML
+  // lock for the table write), but read by concurrent sys_channels
+  // refreshes holding only the shared engine lock.
+  std::atomic<int64_t> watermark_{INT64_MIN};
+  std::atomic<int64_t> batches_persisted_{0};
+  std::atomic<int64_t> rows_persisted_{0};
   Counter* batches_metric_ = nullptr;
   Counter* rows_metric_ = nullptr;
   Gauge* watermark_metric_ = nullptr;

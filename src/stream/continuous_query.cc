@@ -16,6 +16,7 @@ Result<SliceAggregatorRegistry::Registration> SliceAggregatorRegistry::Attach(
     int64_t slice_width, exec::BoundExprPtr filter,
     std::vector<exec::BoundExprPtr> group_exprs,
     std::vector<exec::AggregateCall> calls) {
+  std::lock_guard<std::mutex> lock(mu_);
   int& version = versions_[signature];
   for (int v = 0; v <= version; ++v) {
     std::string key = signature + "#" + std::to_string(v);
@@ -49,10 +50,12 @@ Result<SliceAggregatorRegistry::Registration> SliceAggregatorRegistry::Attach(
 
 const std::vector<SliceAggregator*>& SliceAggregatorRegistry::ForStream(
     const std::string& stream_name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return by_stream_[ToLower(stream_name)];
 }
 
 std::vector<SliceAggregator*> SliceAggregatorRegistry::MutablePipelines() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<SliceAggregator*> out;
   out.reserve(aggregators_.size());
   for (auto& [key, entry] : aggregators_) out.push_back(entry.aggregator.get());
@@ -61,6 +64,7 @@ std::vector<SliceAggregator*> SliceAggregatorRegistry::MutablePipelines() {
 
 std::vector<SliceAggregatorRegistry::PipelineRef>
 SliceAggregatorRegistry::Pipelines() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<PipelineRef> refs;
   refs.reserve(aggregators_.size());
   for (const auto& [key, entry] : aggregators_) {
@@ -281,7 +285,7 @@ Result<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Build(
 // --- Execution ---------------------------------------------------------------
 
 Status ContinuousQuery::OnWindowClose(const WindowBatch& batch) {
-  ++windows_evaluated_;
+  windows_evaluated_.fetch_add(1, std::memory_order_relaxed);
   auto start = std::chrono::steady_clock::now();
   std::vector<Row> out;
   if (shared_agg_ != nullptr) {
@@ -293,11 +297,12 @@ Status ContinuousQuery::OnWindowClose(const WindowBatch& batch) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count();
-  eval_micros_total_ += eval_micros;
+  eval_micros_total_.fetch_add(eval_micros, std::memory_order_relaxed);
   if (windows_metric_ != nullptr) windows_metric_->Add();
   if (eval_metric_ != nullptr) eval_metric_->Record(eval_micros);
-  if (batch.close_micros > emit_watermark_) {
-    rows_emitted_ += static_cast<int64_t>(out.size());
+  if (batch.close_micros > emit_watermark_.load(std::memory_order_relaxed)) {
+    rows_emitted_.fetch_add(static_cast<int64_t>(out.size()),
+                            std::memory_order_relaxed);
     if (rows_metric_ != nullptr) {
       rows_metric_->Add(static_cast<int64_t>(out.size()));
     }

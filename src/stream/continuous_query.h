@@ -1,8 +1,10 @@
 #ifndef STREAMREL_STREAM_CONTINUOUS_QUERY_H_
 #define STREAMREL_STREAM_CONTINUOUS_QUERY_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,7 +45,10 @@ class SliceAggregatorRegistry {
                               std::vector<exec::BoundExprPtr> group_exprs,
                               std::vector<exec::AggregateCall> calls);
 
-  /// All pipelines attached to `stream_name` (ingest fan-out).
+  /// All pipelines attached to `stream_name` (ingest fan-out). The
+  /// returned vector reference is node-stable across concurrent lookups
+  /// (the map entry, once created, never moves) and is only mutated by
+  /// Attach, which runs under the exclusive engine lock.
   const std::vector<SliceAggregator*>& ForStream(
       const std::string& stream_name);
 
@@ -66,6 +71,10 @@ class SliceAggregatorRegistry {
     std::string stream;
     std::unique_ptr<SliceAggregator> aggregator;
   };
+  /// Leaf mutex guarding the maps: ForStream lazily inserts an empty
+  /// per-stream vector during shared-mode ingest, which can race another
+  /// stream's ingest doing the same. Held only for map operations.
+  mutable std::mutex mu_;
   std::map<std::string, Entry> aggregators_;  // versioned signature -> entry
   std::map<std::string, int> versions_;
   std::map<std::string, std::vector<SliceAggregator*>> by_stream_;
@@ -129,15 +138,25 @@ class ContinuousQuery {
 
   /// Windows with close <= `watermark` are evaluated but not delivered
   /// (used after recovery so already-persisted results are not re-emitted).
-  void SetEmitWatermark(int64_t watermark) { emit_watermark_ = watermark; }
-  int64_t emit_watermark() const { return emit_watermark_; }
+  void SetEmitWatermark(int64_t watermark) {
+    emit_watermark_.store(watermark, std::memory_order_relaxed);
+  }
+  int64_t emit_watermark() const {
+    return emit_watermark_.load(std::memory_order_relaxed);
+  }
 
   /// Total windows evaluated / rows emitted (for tests and benchmarks).
-  int64_t windows_evaluated() const { return windows_evaluated_; }
+  int64_t windows_evaluated() const {
+    return windows_evaluated_.load(std::memory_order_relaxed);
+  }
 
   /// Wall time spent evaluating windows (not counting delivery callbacks).
-  int64_t eval_micros_total() const { return eval_micros_total_; }
-  int64_t rows_emitted() const { return rows_emitted_; }
+  int64_t eval_micros_total() const {
+    return eval_micros_total_.load(std::memory_order_relaxed);
+  }
+  int64_t rows_emitted() const {
+    return rows_emitted_.load(std::memory_order_relaxed);
+  }
 
   /// Optional observability hookup: mirrors window closes, rows emitted,
   /// and per-close eval latency into registry-owned metrics. Any pointer
@@ -175,10 +194,13 @@ class ContinuousQuery {
   Schema output_schema_;
   std::vector<CallbackEntry> callbacks_;
   int64_t next_callback_id_ = 1;
-  int64_t emit_watermark_ = INT64_MIN;
-  int64_t windows_evaluated_ = 0;
-  int64_t eval_micros_total_ = 0;
-  int64_t rows_emitted_ = 0;
+  // Atomics: bumped under the owning stream's ingest lock but read by
+  // concurrent SHOW STATS / sys_cqs refreshes that hold only the shared
+  // engine lock.
+  std::atomic<int64_t> emit_watermark_{INT64_MIN};
+  std::atomic<int64_t> windows_evaluated_{0};
+  std::atomic<int64_t> eval_micros_total_{0};
+  std::atomic<int64_t> rows_emitted_{0};
   Counter* windows_metric_ = nullptr;
   Counter* rows_metric_ = nullptr;
   Histogram* eval_metric_ = nullptr;

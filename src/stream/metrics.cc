@@ -14,6 +14,7 @@ std::vector<int64_t> Histogram::LatencyMicrosBounds() {
 }
 
 void Histogram::Record(int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
   ++count_;
@@ -24,6 +25,7 @@ void Histogram::Record(int64_t value) {
 }
 
 int64_t Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) return 0;
   int64_t rank =
       static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
@@ -41,6 +43,7 @@ int64_t Histogram::Percentile(double q) const {
 Counter* MetricsRegistry::GetCounter(const std::string& scope,
                                      const std::string& name,
                                      const std::string& metric) {
+  std::lock_guard<std::mutex> lock(mu_);
   Cell& cell = cells_[Key(scope, name, metric)];
   if (cell.counter == nullptr) cell.counter = std::make_unique<Counter>();
   return cell.counter.get();
@@ -49,6 +52,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& scope,
 Gauge* MetricsRegistry::GetGauge(const std::string& scope,
                                  const std::string& name,
                                  const std::string& metric) {
+  std::lock_guard<std::mutex> lock(mu_);
   Cell& cell = cells_[Key(scope, name, metric)];
   if (cell.gauge == nullptr) cell.gauge = std::make_unique<Gauge>();
   return cell.gauge.get();
@@ -57,6 +61,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& scope,
 Gauge* MetricsRegistry::GetWatermarkGauge(const std::string& scope,
                                           const std::string& name,
                                           const std::string& metric) {
+  std::lock_guard<std::mutex> lock(mu_);
   Cell& cell = cells_[Key(scope, name, metric)];
   cell.is_timestamp = true;
   if (cell.gauge == nullptr) {
@@ -76,6 +81,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& scope,
                                          const std::string& name,
                                          const std::string& metric,
                                          std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   Cell& cell = cells_[Key(scope, name, metric)];
   if (cell.histogram == nullptr) {
     cell.histogram = std::make_unique<Histogram>(std::move(bounds));
@@ -85,6 +91,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& scope,
 
 void MetricsRegistry::RemoveObject(const std::string& scope,
                                    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cells_.lower_bound(Key(scope, name, ""));
   while (it != cells_.end() && std::get<0>(it->first) == scope &&
          std::get<1>(it->first) == name) {
@@ -93,6 +100,7 @@ void MetricsRegistry::RemoveObject(const std::string& scope,
 }
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSample> samples;
   samples.reserve(cells_.size() * 2);
   for (const auto& [key, cell] : cells_) {

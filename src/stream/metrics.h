@@ -1,9 +1,11 @@
 #ifndef STREAMREL_STREAM_METRICS_H_
 #define STREAMREL_STREAM_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -11,25 +13,29 @@
 namespace streamrel::stream {
 
 /// Monotonically increasing event count. Hot paths hold a Counter* obtained
-/// once from the registry; Add() is a single integer add.
+/// once from the registry; Add() is a single relaxed atomic add, so counters
+/// are safe to bump from concurrent per-stream ingest threads.
 class Counter {
  public:
-  void Add(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Point-in-time level (watermarks, buffered rows, live slices). Set() is a
-/// single store; structural gauges are refreshed lazily before a snapshot.
+/// single relaxed atomic store; structural gauges are refreshed lazily
+/// before a snapshot.
 class Gauge {
  public:
-  void Set(int64_t value) { value_ = value; }
-  int64_t value() const { return value_; }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Bounded histogram over fixed bucket upper bounds (no per-sample
@@ -48,16 +54,32 @@ class Histogram {
 
   void Record(int64_t value);
 
-  int64_t count() const { return count_; }
-  int64_t sum() const { return sum_; }
-  int64_t min() const { return count_ == 0 ? 0 : min_; }
-  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  int64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  int64_t sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  int64_t min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0 : min_;
+  }
+  int64_t max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0 : max_;
+  }
 
   /// Upper bound of the bucket containing the q-quantile (0 < q <= 1);
   /// the overflow bucket reports the observed max. 0 when empty.
   int64_t Percentile(double q) const;
 
  private:
+  /// Leaf mutex (no other lock is taken while held): buckets and the
+  /// min/max/sum aggregates must move together, so a lone atomic per field
+  /// would let Snapshot observe torn percentiles.
+  mutable std::mutex mu_;
   const std::vector<int64_t> bounds_;
   std::vector<int64_t> buckets_;  // bounds_.size() + 1 (overflow)
   int64_t count_ = 0;
@@ -85,7 +107,11 @@ struct MetricSample {
 /// object's metrics are removed (DROP CQ / channel stop). Snapshot()
 /// flattens everything into deterministic (scope, name, metric) order.
 ///
-/// Single-threaded like the runtime that owns it. `enabled` gates the
+/// Thread-safe: cell registration and Snapshot() serialize on an internal
+/// leaf mutex; the cells themselves (atomic counters/gauges, internally
+/// locked histograms) are written lock-free from concurrent per-stream
+/// ingest threads. Registered pointers stay valid across concurrent
+/// registrations because std::map nodes are stable. `enabled` gates the
 /// *expensive* instrumentation (clock reads for histograms) — counters are
 /// single adds and always cheap; benchmarks flip it off to measure the
 /// overhead of the observability layer on the ingest hot path.
@@ -112,8 +138,10 @@ class MetricsRegistry {
 
   std::vector<MetricSample> Snapshot() const;
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
 
  private:
   struct Cell {
@@ -124,8 +152,11 @@ class MetricsRegistry {
   };
   using Key = std::tuple<std::string, std::string, std::string>;
 
+  /// Leaf mutex guarding the cell map (the histogram mutex nests inside it
+  /// during Snapshot; nothing else is acquired while it is held).
+  mutable std::mutex mu_;
   std::map<Key, Cell> cells_;
-  bool enabled_ = true;
+  std::atomic<bool> enabled_{true};
 };
 
 }  // namespace streamrel::stream

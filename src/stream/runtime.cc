@@ -38,13 +38,15 @@ StreamRuntime::StreamRuntime(catalog::Catalog* catalog,
 }
 
 StreamRuntime::StreamState* StreamRuntime::GetState(const std::string& name) {
+  std::lock_guard<std::mutex> lock(maps_mu_);
   auto it = streams_.find(ToLower(name));
-  return it == streams_.end() ? nullptr : &it->second;
+  return it == streams_.end() ? nullptr : it->second.get();
 }
 const StreamRuntime::StreamState* StreamRuntime::GetState(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(maps_mu_);
   auto it = streams_.find(ToLower(name));
-  return it == streams_.end() ? nullptr : &it->second;
+  return it == streams_.end() ? nullptr : it->second.get();
 }
 
 Status StreamRuntime::RegisterStream(const std::string& name) {
@@ -53,18 +55,26 @@ Status StreamRuntime::RegisterStream(const std::string& name) {
     return Status::NotFound("stream '" + name + "' not in catalog");
   }
   std::string key = ToLower(name);
-  if (streams_.count(key)) return Status::OK();
-  StreamState state;
-  state.info = info;
-  state.rows_ingested_metric = metrics_.GetCounter(
+  {
+    std::lock_guard<std::mutex> lock(maps_mu_);
+    if (streams_.count(key)) return Status::OK();
+  }
+  // Metric cells are created before taking maps_mu_: the registry has its
+  // own leaf mutex and cell creation is idempotent, so losing the insert
+  // race below just means this state object (bound to the same cells) is
+  // discarded.
+  auto state = std::make_unique<StreamState>();
+  state->info = info;
+  state->rows_ingested_metric = metrics_.GetCounter(
       "stream", key, "rows_ingested");
-  state.batches_published_metric = metrics_.GetCounter(
+  state->batches_published_metric = metrics_.GetCounter(
       "stream", key, "batches_published");
-  state.rows_published_metric = metrics_.GetCounter(
+  state->rows_published_metric = metrics_.GetCounter(
       "stream", key, "rows_published");
-  state.watermark_metric = metrics_.GetWatermarkGauge(
+  state->watermark_metric = metrics_.GetWatermarkGauge(
       "stream", key, "watermark");
-  streams_.emplace(std::move(key), std::move(state));
+  std::lock_guard<std::mutex> lock(maps_mu_);
+  streams_.try_emplace(std::move(key), std::move(state));
   return Status::OK();
 }
 
@@ -252,7 +262,10 @@ Status StreamRuntime::UnregisterStream(const std::string& name) {
     return Status::InvalidArgument("stream '" + name + "' is in use by " +
                                    in_use);
   }
-  streams_.erase(ToLower(name));
+  {
+    std::lock_guard<std::mutex> lock(maps_mu_);
+    streams_.erase(ToLower(name));
+  }
   metrics_.RemoveObject("stream", ToLower(name));
   return Status::OK();
 }
@@ -260,7 +273,7 @@ Status StreamRuntime::UnregisterStream(const std::string& name) {
 Result<int64_t> StreamRuntime::SubscribeStream(const std::string& stream,
                                                CqCallback callback) {
   RETURN_IF_ERROR(RegisterStream(stream));
-  int64_t id = next_client_sub_id_++;
+  int64_t id = next_client_sub_id_.fetch_add(1, std::memory_order_relaxed);
   GetState(stream)->client_subs.push_back({id, std::move(callback)});
   return id;
 }
@@ -287,40 +300,68 @@ Status StreamRuntime::ProcessClosed(Subscription* sub,
 Status StreamRuntime::Ingest(const std::string& stream,
                              const std::vector<Row>& rows,
                              int64_t system_time) {
-  // Dead-letter rows collected anywhere below are published only once the
-  // outermost entry unwinds — a delivery callback may re-enter Ingest.
-  ++ingest_depth_;
-  Status status = IngestImpl(stream, rows, system_time);
-  --ingest_depth_;
-  if (ingest_depth_ == 0) FlushQuarantine();
-  return status;
+  return IngestEntry(stream, rows, system_time, /*quarantine_flush=*/false);
 }
 
-Status StreamRuntime::IngestImpl(const std::string& stream,
-                                 const std::vector<Row>& rows,
-                                 int64_t system_time) {
+Status StreamRuntime::IngestEntry(const std::string& stream,
+                                  const std::vector<Row>& rows,
+                                  int64_t system_time,
+                                  bool quarantine_flush) {
   StreamState* state = GetState(stream);
   if (state == nullptr) {
     RETURN_IF_ERROR(RegisterStream(stream));
     state = GetState(stream);
   }
+  // Lock order (DESIGN decision 11): shard fleet before any stream lock.
+  // The worker fleet and its replica pipelines are shared engine-wide, so
+  // parallel ingest batches take turns on the shard lock; at the default
+  // PARALLELISM 1 there is no fleet and disjoint streams only contend on
+  // their own ingest locks. A nested re-entry (a delivery callback
+  // ingesting into another stream) already holds the shard lock and must
+  // not retake it "fresh" below the stream rank it also holds.
+  const bool take_shard = !workers_.empty() && !shard_mu_.held_by_me();
+  if (take_shard) shard_mu_.lock();
+  Status status;
+  std::vector<PendingQuarantine> flush_batch;
+  {
+    std::lock_guard<OrderedMutex> stream_lock(state->mu);
+    ++state->ingest_depth;
+    status = IngestImpl(state, rows, system_time, quarantine_flush);
+    --state->ingest_depth;
+    if (state->ingest_depth == 0 && !state->pending_quarantine.empty()) {
+      flush_batch = std::move(state->pending_quarantine);
+      state->pending_quarantine.clear();
+    }
+  }
+  if (take_shard) shard_mu_.unlock();
+  // Dead-letter rows publish only after this stream's locks are released:
+  // the flush is an ordinary ingest into the dead-letter stream and must
+  // start from a clean lock state.
+  if (!flush_batch.empty()) FlushQuarantine(std::move(flush_batch));
+  return status;
+}
+
+Status StreamRuntime::IngestImpl(StreamState* state,
+                                 const std::vector<Row>& rows,
+                                 int64_t system_time, bool quarantine_flush) {
   catalog::StreamInfo* info = state->info;
   if (info->is_derived) {
     return Status::InvalidArgument(
-        "cannot ingest into derived stream '" + stream +
+        "cannot ingest into derived stream '" + info->name +
         "'; it is computed by its defining query");
   }
   // Batch-level contract violations stay hard errors; only per-row data
   // problems divert to the quarantine stream.
   if (info->cqtime_system && system_time == INT64_MIN) {
     return Status::InvalidArgument(
-        "stream '" + stream + "' has CQTIME SYSTEM; pass an ingest time");
+        "stream '" + info->name + "' has CQTIME SYSTEM; pass an ingest time");
   }
   size_t admit_begin = 0;
   size_t admit_end = rows.size();
-  AdmitBatch(state, rows, &admit_begin, &admit_end);
+  AdmitBatch(state, rows, &admit_begin, &admit_end, quarantine_flush);
   if (!workers_.empty()) {
-    return IngestParallel(state, rows, system_time, admit_begin, admit_end);
+    return IngestParallel(state, rows, system_time, admit_begin, admit_end,
+                          quarantine_flush);
   }
   const size_t arity = info->schema.num_columns();
   std::vector<WindowBatch> closed;
@@ -333,9 +374,9 @@ Status StreamRuntime::IngestImpl(const std::string& stream,
     if (row.size() != arity) {
       QuarantineRow(state, "arity",
                     "row arity " + std::to_string(row.size()) +
-                        " does not match stream '" + stream + "' (" +
+                        " does not match stream '" + info->name + "' (" +
                         std::to_string(arity) + " columns)",
-                    row);
+                    row, quarantine_flush);
       continue;
     }
     int64_t ts;
@@ -344,7 +385,8 @@ Status StreamRuntime::IngestImpl(const std::string& stream,
     } else {
       const Value& tv = row[info->cqtime_column];
       if (tv.is_null()) {
-        QuarantineRow(state, "null_cqtime", "NULL CQTIME value", row);
+        QuarantineRow(state, "null_cqtime", "NULL CQTIME value", row,
+                      quarantine_flush);
         continue;
       }
       if (tv.type() == DataType::kTimestamp) {
@@ -355,16 +397,16 @@ Status StreamRuntime::IngestImpl(const std::string& stream,
         QuarantineRow(state, "bad_cqtime_type",
                       std::string("CQTIME column must be a timestamp, got ") +
                           DataTypeToString(tv.type()),
-                      row);
+                      row, quarantine_flush);
         continue;
       }
     }
-    if (state->watermark != INT64_MIN && ts < state->watermark) {
+    const int64_t wm = state->watermark.load(std::memory_order_relaxed);
+    if (wm != INT64_MIN && ts < wm) {
       QuarantineRow(state, "late",
                     "ts " + std::to_string(ts) +
-                        " is behind stream watermark " +
-                        std::to_string(state->watermark),
-                    row);
+                        " is behind stream watermark " + std::to_string(wm),
+                    row, quarantine_flush);
       continue;
     }
     Row stamped = row;
@@ -385,21 +427,22 @@ Status StreamRuntime::IngestImpl(const std::string& stream,
       }
       RETURN_IF_ERROR(ProcessClosed(&sub, &closed));
     }
-    state->watermark = ts;
-    ++rows_ingested_;
-    ++state->overload.rows_admitted;
+    state->watermark.store(ts, std::memory_order_relaxed);
+    rows_ingested_.fetch_add(1, std::memory_order_relaxed);
+    state->overload.rows_admitted.fetch_add(1, std::memory_order_relaxed);
     admitted.push_back(std::move(stamped));
   }
+  const int64_t final_wm = state->watermark.load(std::memory_order_relaxed);
   if (metrics_.enabled() && !admitted.empty()) {
     const int64_t n = static_cast<int64_t>(admitted.size());
     state->rows_ingested_metric->Add(n);
     engine_rows_metric_->Add(n);
-    state->watermark_metric->Set(state->watermark);
+    state->watermark_metric->Set(final_wm);
   }
 
   // Evict slices no live window can reference.
   for (SliceAggregator* agg : registry_.ForStream(info->name)) {
-    agg->EvictBefore(state->watermark - agg->max_visible());
+    agg->EvictBefore(final_wm - agg->max_visible());
   }
   // Raw-stream channels archive ingested rows directly (commit time =
   // current watermark). Transient sink failures (WAL/table hiccups) are
@@ -407,13 +450,12 @@ Status StreamRuntime::IngestImpl(const std::string& stream,
   // a retry re-delivers exactly the undelivered group.
   for (Channel* channel : state->channels) {
     RETURN_IF_ERROR(WithSinkRetry(
-        [&] { return channel->OnRawRows(state->watermark, admitted); }));
+        [&] { return channel->OnRawRows(final_wm, admitted); }));
   }
   // Index loop: a delivery callback may re-enter the engine and mutate
   // the subscription list.
   for (size_t i = 0; i < state->client_subs.size(); ++i) {
-    RETURN_IF_ERROR(state->client_subs[i].callback(state->watermark,
-                                                   admitted));
+    RETURN_IF_ERROR(state->client_subs[i].callback(final_wm, admitted));
   }
   return Status::OK();
 }
@@ -421,7 +463,8 @@ Status StreamRuntime::IngestImpl(const std::string& stream,
 Status StreamRuntime::IngestParallel(StreamState* state,
                                      const std::vector<Row>& rows,
                                      int64_t system_time, size_t admit_begin,
-                                     size_t admit_end) {
+                                     size_t admit_end,
+                                     bool quarantine_flush) {
   catalog::StreamInfo* info = state->info;
   const size_t arity = info->schema.num_columns();
   // Resolved on the coordinator and re-resolved after every window close:
@@ -500,7 +543,7 @@ Status StreamRuntime::IngestParallel(StreamState* state,
                     "row arity " + std::to_string(row.size()) +
                         " does not match stream '" + info->name + "' (" +
                         std::to_string(arity) + " columns)",
-                    row);
+                    row, quarantine_flush);
       continue;
     }
     int64_t ts;
@@ -509,7 +552,8 @@ Status StreamRuntime::IngestParallel(StreamState* state,
     } else {
       const Value& tv = row[info->cqtime_column];
       if (tv.is_null()) {
-        QuarantineRow(state, "null_cqtime", "NULL CQTIME value", row);
+        QuarantineRow(state, "null_cqtime", "NULL CQTIME value", row,
+                      quarantine_flush);
         continue;
       }
       if (tv.type() == DataType::kTimestamp) {
@@ -520,16 +564,16 @@ Status StreamRuntime::IngestParallel(StreamState* state,
         QuarantineRow(state, "bad_cqtime_type",
                       std::string("CQTIME column must be a timestamp, got ") +
                           DataTypeToString(tv.type()),
-                      row);
+                      row, quarantine_flush);
         continue;
       }
     }
-    if (state->watermark != INT64_MIN && ts < state->watermark) {
+    const int64_t wm = state->watermark.load(std::memory_order_relaxed);
+    if (wm != INT64_MIN && ts < wm) {
       QuarantineRow(state, "late",
                     "ts " + std::to_string(ts) +
-                        " is behind stream watermark " +
-                        std::to_string(state->watermark),
-                    row);
+                        " is behind stream watermark " + std::to_string(wm),
+                    row, quarantine_flush);
       continue;
     }
     Row stamped = row;
@@ -590,34 +634,34 @@ Status StreamRuntime::IngestParallel(StreamState* state,
         pick_routing();
       }
     }
-    state->watermark = ts;
-    ++rows_ingested_;
-    ++state->overload.rows_admitted;
+    state->watermark.store(ts, std::memory_order_relaxed);
+    rows_ingested_.fetch_add(1, std::memory_order_relaxed);
+    state->overload.rows_admitted.fetch_add(1, std::memory_order_relaxed);
     admitted.push_back(std::move(stamped));
   }
   RETURN_IF_ERROR(barrier());
+  const int64_t final_wm = state->watermark.load(std::memory_order_relaxed);
   if (metrics_.enabled() && !admitted.empty()) {
     const int64_t n = static_cast<int64_t>(admitted.size());
     state->rows_ingested_metric->Add(n);
     engine_rows_metric_->Add(n);
-    state->watermark_metric->Set(state->watermark);
+    state->watermark_metric->Set(final_wm);
   }
   UpdateShardMetrics();
 
   // Evict slices no live window can reference (workers are idle: eviction
   // walks shard state from the coordinator).
   for (SliceAggregator* agg : registry_.ForStream(info->name)) {
-    agg->EvictBefore(state->watermark - agg->max_visible());
+    agg->EvictBefore(final_wm - agg->max_visible());
   }
   for (Channel* channel : state->channels) {
     RETURN_IF_ERROR(WithSinkRetry(
-        [&] { return channel->OnRawRows(state->watermark, admitted); }));
+        [&] { return channel->OnRawRows(final_wm, admitted); }));
   }
   // Index loop: a delivery callback may re-enter the engine and mutate
   // the subscription list.
   for (size_t i = 0; i < state->client_subs.size(); ++i) {
-    RETURN_IF_ERROR(state->client_subs[i].callback(state->watermark,
-                                                   admitted));
+    RETURN_IF_ERROR(state->client_subs[i].callback(final_wm, admitted));
   }
   return Status::OK();
 }
@@ -628,10 +672,11 @@ Status StreamRuntime::SetParallelism(int n) {
         "PARALLELISM must be between 1 and " +
         std::to_string(kMaxParallelism));
   }
-  if (n == parallelism_) return Status::OK();
-  // Workers are always idle between Ingest calls; re-shard every pipeline
-  // (folding any existing shard state back into the parents) before
-  // changing the worker fleet.
+  if (n == parallelism_.load(std::memory_order_relaxed)) return Status::OK();
+  // The caller holds the engine lock exclusive, so no ingest is in flight
+  // and the workers are idle; re-shard every pipeline (folding any
+  // existing shard state back into the parents) before changing the
+  // worker fleet.
   const size_t shard_count = n > 1 ? static_cast<size_t>(n) : 0;
   for (SliceAggregator* agg : registry_.MutablePipelines()) {
     RETURN_IF_ERROR(agg->SetShardCount(shard_count));
@@ -641,7 +686,7 @@ Status StreamRuntime::SetParallelism(int n) {
     metrics_.RemoveObject("shard", "worker" + std::to_string(i));
   }
   shard_cells_.clear();
-  parallelism_ = n;
+  parallelism_.store(n, std::memory_order_relaxed);
   for (size_t i = 0; i < shard_count; ++i) {
     workers_.emplace_back(
         std::make_unique<ShardWorker>(i, kShardQueueCapacity));
@@ -661,6 +706,9 @@ Status StreamRuntime::SetParallelism(int n) {
 
 void StreamRuntime::UpdateShardMetrics() {
   if (!metrics_.enabled()) return;
+  // Leaf mutex: the delta fold runs from ingest barriers (shard lock held)
+  // and from gauge refreshes (no shard lock), possibly concurrently.
+  std::lock_guard<std::mutex> lock(shard_metrics_mu_);
   for (size_t i = 0; i < workers_.size(); ++i) {
     ShardMetricCells& cells = shard_cells_[i];
     const ShardWorker& w = *workers_[i];
@@ -682,20 +730,35 @@ Status StreamRuntime::AdvanceTime(const std::string& stream,
     RETURN_IF_ERROR(RegisterStream(stream));
     state = GetState(stream);
   }
-  if (state->watermark != INT64_MIN && watermark < state->watermark) {
-    return Status::InvalidArgument("watermark regression");
+  // Same lock order as IngestEntry: eviction below walks shard replica
+  // state, so the fleet must be quiesced (holding the shard lock implies
+  // idle workers) before the stream lock is taken.
+  const bool take_shard = !workers_.empty() && !shard_mu_.held_by_me();
+  if (take_shard) shard_mu_.lock();
+  Status status = Status::OK();
+  {
+    std::lock_guard<OrderedMutex> stream_lock(state->mu);
+    const int64_t wm = state->watermark.load(std::memory_order_relaxed);
+    if (wm != INT64_MIN && watermark < wm) {
+      status = Status::InvalidArgument("watermark regression");
+    } else {
+      std::vector<WindowBatch> closed;
+      for (Subscription& sub : state->subs) {
+        status = sub.window_op->AdvanceTime(watermark, &closed);
+        if (status.ok()) status = ProcessClosed(&sub, &closed);
+        if (!status.ok()) break;
+      }
+      if (status.ok()) {
+        state->watermark.store(watermark, std::memory_order_relaxed);
+        if (metrics_.enabled()) state->watermark_metric->Set(watermark);
+        for (SliceAggregator* agg : registry_.ForStream(state->info->name)) {
+          agg->EvictBefore(watermark - agg->max_visible());
+        }
+      }
+    }
   }
-  std::vector<WindowBatch> closed;
-  for (Subscription& sub : state->subs) {
-    RETURN_IF_ERROR(sub.window_op->AdvanceTime(watermark, &closed));
-    RETURN_IF_ERROR(ProcessClosed(&sub, &closed));
-  }
-  state->watermark = watermark;
-  if (metrics_.enabled()) state->watermark_metric->Set(watermark);
-  for (SliceAggregator* agg : registry_.ForStream(state->info->name)) {
-    agg->EvictBefore(state->watermark - agg->max_visible());
-  }
-  return Status::OK();
+  if (take_shard) shard_mu_.unlock();
+  return status;
 }
 
 Status StreamRuntime::PublishBatch(const std::string& stream, int64_t close,
@@ -704,12 +767,16 @@ Status StreamRuntime::PublishBatch(const std::string& stream, int64_t close,
   if (state == nullptr) {
     return Status::Internal("derived stream '" + stream + "' not registered");
   }
+  // Nested same-rank acquisition: the caller holds the source stream's
+  // ingest lock; cascades form a forest, so locking the derived stream
+  // under it cannot deadlock.
+  std::lock_guard<OrderedMutex> stream_lock(state->mu);
   std::vector<WindowBatch> closed;
   for (Subscription& sub : state->subs) {
     RETURN_IF_ERROR(sub.window_op->AddBatch(close, rows, &closed));
     RETURN_IF_ERROR(ProcessClosed(&sub, &closed));
   }
-  state->watermark = close;
+  state->watermark.store(close, std::memory_order_relaxed);
   if (metrics_.enabled()) {
     state->batches_published_metric->Add();
     state->rows_published_metric->Add(static_cast<int64_t>(rows.size()));
@@ -729,13 +796,17 @@ Status StreamRuntime::PublishBatch(const std::string& stream, int64_t close,
 
 int64_t StreamRuntime::watermark(const std::string& stream) const {
   const StreamState* state = GetState(stream);
-  return state == nullptr ? INT64_MIN : state->watermark;
+  return state == nullptr ? INT64_MIN
+                          : state->watermark.load(std::memory_order_relaxed);
 }
 
+// The four recovery/checkpoint walkers below run only under the exclusive
+// engine lock (RECOVER / CHECKPOINT statements), which excludes every
+// shared-mode mutator of streams_, so they iterate without maps_mu_.
 Result<std::string> StreamRuntime::SerializeCqState(
     const std::string& name) const {
   for (const auto& [key, state] : streams_) {
-    for (const Subscription& sub : state.subs) {
+    for (const Subscription& sub : state->subs) {
       if (EqualsIgnoreCase(sub.cq->name(), name)) {
         if (!sub.feed_rows) {
           return Status::NotImplemented(
@@ -755,7 +826,7 @@ Result<std::string> StreamRuntime::SerializeCqState(
 Status StreamRuntime::RestoreCqState(const std::string& name,
                                      const std::string& blob) {
   for (auto& [key, state] : streams_) {
-    for (Subscription& sub : state.subs) {
+    for (Subscription& sub : state->subs) {
       if (EqualsIgnoreCase(sub.cq->name(), name)) {
         return sub.window_op->Restore(blob);
       }
@@ -767,7 +838,7 @@ Status StreamRuntime::RestoreCqState(const std::string& name,
 Status StreamRuntime::ResetCqToWatermark(const std::string& name,
                                          int64_t watermark) {
   for (auto& [key, state] : streams_) {
-    for (Subscription& sub : state.subs) {
+    for (Subscription& sub : state->subs) {
       if (EqualsIgnoreCase(sub.cq->name(), name)) {
         sub.window_op->ResetToWatermark(watermark);
         sub.cq->SetEmitWatermark(watermark);
@@ -781,7 +852,7 @@ Status StreamRuntime::ResetCqToWatermark(const std::string& name,
 Status StreamRuntime::SetCqEmitWatermark(const std::string& name,
                                          int64_t watermark) {
   for (auto& [key, state] : streams_) {
-    for (Subscription& sub : state.subs) {
+    for (Subscription& sub : state->subs) {
       if (EqualsIgnoreCase(sub.cq->name(), name)) {
         sub.cq->SetEmitWatermark(watermark);
         return Status::OK();
@@ -809,7 +880,7 @@ Status StreamRuntime::SetRetryLimit(int64_t attempts) {
     return Status::InvalidArgument(
         "RETRY LIMIT must be between 1 and 1000 attempts");
   }
-  retry_limit_ = attempts;
+  retry_limit_.store(attempts, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -817,14 +888,24 @@ Status StreamRuntime::SetRetryBackoff(int64_t micros) {
   if (micros < 0) {
     return Status::InvalidArgument("RETRY BACKOFF must be >= 0");
   }
-  retry_backoff_micros_ = micros;
+  retry_backoff_micros_.store(micros, std::memory_order_relaxed);
   return Status::OK();
 }
 
 StreamRuntime::OverloadCounters StreamRuntime::overload_counters(
     const std::string& stream) const {
   const StreamState* state = GetState(stream);
-  return state == nullptr ? OverloadCounters{} : state->overload;
+  OverloadCounters counters;
+  if (state == nullptr) return counters;
+  counters.rows_admitted =
+      state->overload.rows_admitted.load(std::memory_order_relaxed);
+  counters.rows_shed =
+      state->overload.rows_shed.load(std::memory_order_relaxed);
+  counters.rows_quarantined =
+      state->overload.rows_quarantined.load(std::memory_order_relaxed);
+  counters.blocked_micros =
+      state->overload.blocked_micros.load(std::memory_order_relaxed);
+  return counters;
 }
 
 std::string StreamRuntime::QuarantineName(const std::string& stream) {
@@ -853,19 +934,24 @@ Status StreamRuntime::EnsureQuarantineStream(const std::string& stream) {
                           Column("detail", DataType::kString),
                           Column("row_data", DataType::kString)});
     info.cqtime_column = 0;
-    RETURN_IF_ERROR(catalog_->CreateStream(std::move(info)));
+    Status status = catalog_->CreateStream(std::move(info));
+    // Concurrent ingests may race to create the same dead-letter stream;
+    // the loser just registers the winner's.
+    if (!status.ok() && catalog_->GetStream(qname) == nullptr) {
+      return status;
+    }
   }
   return RegisterStream(qname);
 }
 
 void StreamRuntime::AdmitBatch(StreamState* state,
                                const std::vector<Row>& rows, size_t* begin,
-                               size_t* end) {
+                               size_t* end, bool quarantine_flush) {
   *begin = 0;
   *end = rows.size();
   // Dead-letter capture must not itself be refused: quarantine flushes
   // bypass admission (their buffered footprint is still accounted).
-  if (rows.empty() || flushing_quarantine_ || governor_.budget() == 0) {
+  if (rows.empty() || quarantine_flush || governor_.budget() == 0) {
     return;
   }
   std::vector<int64_t> bytes(rows.size());
@@ -885,18 +971,21 @@ void StreamRuntime::AdmitBatch(StreamState* state,
       const auto start = std::chrono::steady_clock::now();
       for (auto& w : workers_) w->WaitIdle();
       constexpr int64_t kPollMicros = 200;
+      const int64_t timeout =
+          block_timeout_micros_.load(std::memory_order_relaxed);
       while (governor_.headroom() < total) {
         const int64_t waited =
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - start)
                 .count();
-        if (waited >= block_timeout_micros_) break;
+        if (waited >= timeout) break;
         std::this_thread::sleep_for(std::chrono::microseconds(kPollMicros));
       }
-      state->overload.blocked_micros +=
+      state->overload.blocked_micros.fetch_add(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - start)
-              .count();
+              .count(),
+          std::memory_order_relaxed);
       return;
     }
     case OverloadPolicy::kShedNewest: {
@@ -925,54 +1014,60 @@ void StreamRuntime::AdmitBatch(StreamState* state,
       break;
     }
   }
-  state->overload.rows_shed +=
-      static_cast<int64_t>(rows.size() - (*end - *begin));
+  state->overload.rows_shed.fetch_add(
+      static_cast<int64_t>(rows.size() - (*end - *begin)),
+      std::memory_order_relaxed);
 }
 
 void StreamRuntime::QuarantineRow(StreamState* state, const char* reason,
-                                  std::string detail, const Row& row) {
-  ++state->overload.rows_quarantined;
-  if (flushing_quarantine_) {
+                                  std::string detail, const Row& row,
+                                  bool quarantine_flush) {
+  state->overload.rows_quarantined.fetch_add(1, std::memory_order_relaxed);
+  if (quarantine_flush) {
     // A dead-letter row rejected by its own dead-letter stream has
     // nowhere left to go; count the drop instead of recursing.
-    ++quarantine_dropped_;
+    quarantine_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  const int64_t qtime =
-      state->watermark == INT64_MIN ? 0 : state->watermark;
+  const int64_t wm = state->watermark.load(std::memory_order_relaxed);
+  const int64_t qtime = wm == INT64_MIN ? 0 : wm;
   Row qrow;
   qrow.reserve(4);
   qrow.push_back(Value::Timestamp(qtime));
   qrow.push_back(Value::String(reason));
   qrow.push_back(Value::String(std::move(detail)));
   qrow.push_back(Value::String(RowToString(row)));
-  pending_quarantine_.push_back(
+  state->pending_quarantine.push_back(
       PendingQuarantine{state->info->name, std::move(qrow)});
 }
 
-void StreamRuntime::FlushQuarantine() {
-  if (flushing_quarantine_ || pending_quarantine_.empty()) return;
-  flushing_quarantine_ = true;
+void StreamRuntime::FlushQuarantine(std::vector<PendingQuarantine> batch) {
   // Publishing a dead-letter row can itself quarantine-drop (counted) but
   // never fails the source batch; errors here are absorbed.
-  while (!pending_quarantine_.empty()) {
-    std::vector<PendingQuarantine> batch = std::move(pending_quarantine_);
-    pending_quarantine_.clear();
-    for (PendingQuarantine& q : batch) {
-      Status status = EnsureQuarantineStream(q.stream);
-      if (status.ok()) {
-        status = Ingest(QuarantineName(q.stream), {std::move(q.row)});
-      }
-      if (!status.ok()) ++quarantine_dropped_;
+  for (PendingQuarantine& q : batch) {
+    Status status = EnsureQuarantineStream(q.stream);
+    if (status.ok()) {
+      status = IngestEntry(QuarantineName(q.stream), {std::move(q.row)},
+                           INT64_MIN, /*quarantine_flush=*/true);
+    }
+    if (!status.ok()) {
+      quarantine_dropped_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  flushing_quarantine_ = false;
 }
 
 Status StreamRuntime::WithSinkRetry(const std::function<Status()>& op) {
-  Status status = op();
-  int64_t backoff = retry_backoff_micros_;
-  for (int64_t attempt = 1; attempt < retry_limit_; ++attempt) {
+  // Sinks write tables (heap + indexes + WAL): each attempt runs under the
+  // DML lock (rank kDml, above the stream locks held here), serializing
+  // against SQL DML on the same tables. Backoff sleeps run unlocked.
+  auto attempt = [&]() -> Status {
+    std::lock_guard<OrderedMutex> dml_lock(dml_mu_);
+    return op();
+  };
+  Status status = attempt();
+  int64_t backoff = retry_backoff_micros_.load(std::memory_order_relaxed);
+  const int64_t limit = retry_limit_.load(std::memory_order_relaxed);
+  for (int64_t attempts = 1; attempts < limit; ++attempts) {
     if (status.ok() || status.code() != StatusCode::kIoError ||
         FaultInjector::IsInjectedCrash(status)) {
       return status;
@@ -981,19 +1076,20 @@ Status StreamRuntime::WithSinkRetry(const std::function<Status()>& op) {
     // cumulative retry counter instead of an RNG, so reruns of a seeded
     // workload retry on an identical schedule while periodic retries
     // still de-phase from one another.
-    const int64_t jitter = (backoff / 4) * (retries_ % 3) / 2;
+    const int64_t jitter =
+        (backoff / 4) * (retries_.load(std::memory_order_relaxed) % 3) / 2;
     if (backoff + jitter > 0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(backoff + jitter));
     }
-    ++retries_;
-    status = op();
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    status = attempt();
     if (backoff <= INT64_MAX / 2) backoff *= 2;
   }
-  if (!status.ok() && retry_limit_ > 1 &&
+  if (!status.ok() && limit > 1 &&
       status.code() == StatusCode::kIoError &&
       !FaultInjector::IsInjectedCrash(status)) {
-    ++retries_exhausted_;
+    retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
   }
   return status;
 }
@@ -1005,6 +1101,17 @@ std::vector<std::string> StreamRuntime::CqNames() const {
   return names;
 }
 
+void StreamRuntime::StreamLockStats(int64_t* acquisitions,
+                                    int64_t* contended) const {
+  *acquisitions = 0;
+  *contended = 0;
+  std::lock_guard<std::mutex> lock(maps_mu_);
+  for (const auto& [key, state] : streams_) {
+    *acquisitions += state->mu.acquisitions();
+    *contended += state->mu.contended();
+  }
+}
+
 void StreamRuntime::RefreshMetricsGauges() {
   int64_t shared = 0;
   for (const auto& [key, cq] : cqs_) {
@@ -1012,8 +1119,12 @@ void StreamRuntime::RefreshMetricsGauges() {
     metrics_.GetWatermarkGauge("cq", key, "emit_watermark")
         ->Set(cq->emit_watermark());
   }
-  metrics_.GetGauge("engine", "runtime", "streams")
-      ->Set(static_cast<int64_t>(streams_.size()));
+  int64_t stream_count;
+  {
+    std::lock_guard<std::mutex> lock(maps_mu_);
+    stream_count = static_cast<int64_t>(streams_.size());
+  }
+  metrics_.GetGauge("engine", "runtime", "streams")->Set(stream_count);
   metrics_.GetGauge("engine", "runtime", "cqs")
       ->Set(static_cast<int64_t>(cqs_.size()));
   metrics_.GetGauge("engine", "runtime", "cqs_shared")->Set(shared);
@@ -1023,25 +1134,36 @@ void StreamRuntime::RefreshMetricsGauges() {
       ->Set(static_cast<int64_t>(channels_.size()));
   metrics_.GetGauge("engine", "runtime", "shared_pipelines")
       ->Set(static_cast<int64_t>(registry_.pipeline_count()));
-  metrics_.GetGauge("engine", "runtime", "parallelism")->Set(parallelism_);
+  metrics_.GetGauge("engine", "runtime", "parallelism")
+      ->Set(parallelism_.load(std::memory_order_relaxed));
   UpdateShardMetrics();
 
-  for (const auto& [key, state] : streams_) {
-    metrics_.GetGauge("stream", key, "cq_subscriptions")
-        ->Set(static_cast<int64_t>(state.subs.size()));
-    metrics_.GetGauge("stream", key, "channels")
-        ->Set(static_cast<int64_t>(state.channels.size()));
-    metrics_.GetGauge("stream", key, "client_subscriptions")
-        ->Set(static_cast<int64_t>(state.client_subs.size()));
-    state.watermark_metric->Set(state.watermark);
-    metrics_.GetGauge("overload", key, "rows_admitted")
-        ->Set(state.overload.rows_admitted);
-    metrics_.GetGauge("overload", key, "rows_shed")
-        ->Set(state.overload.rows_shed);
-    metrics_.GetGauge("overload", key, "rows_quarantined")
-        ->Set(state.overload.rows_quarantined);
-    metrics_.GetGauge("overload", key, "blocked_micros")
-        ->Set(state.overload.blocked_micros);
+  {
+    // maps_mu_ is held across the walk so a concurrent lazy registration
+    // cannot invalidate the iterator; the registry calls below only nest
+    // its own leaf mutex (the one permitted leaf-under-leaf pairing).
+    std::lock_guard<std::mutex> lock(maps_mu_);
+    for (const auto& [key, state_ptr] : streams_) {
+      const StreamState& state = *state_ptr;
+      metrics_.GetGauge("stream", key, "cq_subscriptions")
+          ->Set(static_cast<int64_t>(state.subs.size()));
+      metrics_.GetGauge("stream", key, "channels")
+          ->Set(static_cast<int64_t>(state.channels.size()));
+      metrics_.GetGauge("stream", key, "client_subscriptions")
+          ->Set(static_cast<int64_t>(state.client_subs.size()));
+      state.watermark_metric->Set(
+          state.watermark.load(std::memory_order_relaxed));
+      metrics_.GetGauge("overload", key, "rows_admitted")
+          ->Set(state.overload.rows_admitted.load(std::memory_order_relaxed));
+      metrics_.GetGauge("overload", key, "rows_shed")
+          ->Set(state.overload.rows_shed.load(std::memory_order_relaxed));
+      metrics_.GetGauge("overload", key, "rows_quarantined")
+          ->Set(state.overload.rows_quarantined.load(
+              std::memory_order_relaxed));
+      metrics_.GetGauge("overload", key, "blocked_micros")
+          ->Set(state.overload.blocked_micros.load(
+              std::memory_order_relaxed));
+    }
   }
 
   metrics_.GetGauge("overload", "governor", "bytes_held")
@@ -1060,11 +1182,12 @@ void StreamRuntime::RefreshMetricsGauges() {
       ->Set(governor_.held(MemoryGovernor::Account::kReorder));
   metrics_.GetGauge("overload", "governor", "bytes_net_send_queue")
       ->Set(governor_.held(MemoryGovernor::Account::kNetSendQueue));
-  metrics_.GetGauge("overload", "retry", "retries")->Set(retries_);
+  metrics_.GetGauge("overload", "retry", "retries")
+      ->Set(retries_.load(std::memory_order_relaxed));
   metrics_.GetGauge("overload", "retry", "exhausted")
-      ->Set(retries_exhausted_);
+      ->Set(retries_exhausted_.load(std::memory_order_relaxed));
   metrics_.GetGauge("overload", "quarantine", "rows_dropped")
-      ->Set(quarantine_dropped_);
+      ->Set(quarantine_dropped_.load(std::memory_order_relaxed));
 
   // Shared pipelines are keyed by their versioned signature; the registry
   // never drops one while the runtime lives, so refreshing in place is

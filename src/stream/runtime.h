@@ -1,14 +1,17 @@
 #ifndef STREAMREL_STREAM_RUNTIME_H_
 #define STREAMREL_STREAM_RUNTIME_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/memory_governor.h"
+#include "common/rwlock.h"
 #include "common/status.h"
 #include "storage/transaction.h"
 #include "storage/wal.h"
@@ -35,15 +38,30 @@ const char* OverloadPolicyName(OverloadPolicy policy);
 /// window closes as the watermark advances, cascades derived-stream
 /// batches downstream, and drives channels into active tables.
 ///
-/// Driven by one ingest loop (the paper's engine processes each stream's
-/// data in arrival order). With SET PARALLELISM n (n > 1) the expensive
-/// per-row work — updating the shared slice-aggregation pipelines — is
-/// hash-partitioned across n worker shards, each owning replica pipeline
-/// state; the ingest thread remains the coordinator, and at every window
-/// close it barriers the workers and merges their partial aggregates, so
-/// downstream consumers observe exactly the serial semantics. All public
-/// methods must still be called from a single thread at a time (Database
-/// serializes them).
+/// With SET PARALLELISM n (n > 1) the expensive per-row work — updating
+/// the shared slice-aggregation pipelines — is hash-partitioned across n
+/// worker shards, each owning replica pipeline state; the ingest thread
+/// remains the coordinator, and at every window close it barriers the
+/// workers and merges their partial aggregates, so downstream consumers
+/// observe exactly the serial semantics.
+///
+/// Threading (DESIGN decision 11). Structural mutation (create/drop/
+/// subscribe/set-parallelism) happens only under the Database's exclusive
+/// engine lock; data-plane entry points run under a shared hold. Within a
+/// shared hold:
+///   - Ingest/AdvanceTime serialize per stream on that stream's ranked
+///     OrderedMutex (rank kStream), so disjoint streams ingest fully
+///     concurrently;
+///   - when the worker fleet exists (PARALLELISM > 1) ingest first takes
+///     the shard-fleet lock (rank kShard), because the workers and their
+///     replica pipelines are shared engine-wide;
+///   - channel sinks take the DML lock (rank kDml) per delivery attempt,
+///     serializing against SQL writes to the same tables;
+///   - the stream map itself is guarded by an unranked leaf mutex held
+///     only for lookups/inserts.
+/// Reads of structure that only exclusive holders mutate (subscription
+/// vectors, the CQ/channel maps, policy knobs) are done lock-free from
+/// shared holders; the engine rwlock provides the happens-before edge.
 class StreamRuntime {
  public:
   StreamRuntime(catalog::Catalog* catalog,
@@ -53,6 +71,8 @@ class StreamRuntime {
   // --- lifecycle of continuous objects ------------------------------------
 
   /// Registers a raw or derived stream that already exists in the catalog.
+  /// Safe to call concurrently (ingest registers streams lazily under a
+  /// shared engine hold).
   Status RegisterStream(const std::string& name);
 
   /// Creates and starts a named CQ over `stmt`. `allow_shared` gates the
@@ -102,7 +122,8 @@ class StreamRuntime {
 
   /// Ingests ordered rows into a raw stream. CQTIME USER streams read each
   /// row's timestamp column; CQTIME SYSTEM streams are stamped with
-  /// `system_time` (required > current watermark).
+  /// `system_time` (required > current watermark). Serializes on the
+  /// stream's own ingest lock; disjoint streams proceed in parallel.
   Status Ingest(const std::string& stream, const std::vector<Row>& rows,
                 int64_t system_time = INT64_MIN);
 
@@ -112,15 +133,23 @@ class StreamRuntime {
 
   int64_t watermark(const std::string& stream) const;
 
+  /// The table-write lock (rank kDml): Database DML statements and channel
+  /// sink deliveries serialize on it so multi-structure table writes
+  /// (heap + indexes + WAL) stay consistent under concurrency.
+  OrderedMutex* dml_mutex() { return &dml_mu_; }
+
   // --- partition-parallel execution ------------------------------------------
 
   /// Sets the worker-shard count for ingest (SET PARALLELISM n). 1 (the
   /// default) runs fully single-threaded — the serial hot path is
   /// untouched. For n > 1, every shared pipeline is split into n shard
   /// replicas and n workers are started; existing shard state is folded
-  /// back first, so the switch is transparent to running CQs.
+  /// back first, so the switch is transparent to running CQs. Callers hold
+  /// the engine lock exclusive (no ingest is in flight).
   Status SetParallelism(int n);
-  int parallelism() const { return parallelism_; }
+  int parallelism() const {
+    return parallelism_.load(std::memory_order_relaxed);
+  }
 
   /// Upper bound for SET PARALLELISM (sanity cap, not a tuning target).
   static constexpr int kMaxParallelism = 64;
@@ -144,18 +173,25 @@ class StreamRuntime {
   /// default 1 means no retries (transient failures surface immediately,
   /// exactly as before this knob existed).
   Status SetRetryLimit(int64_t attempts);
-  int64_t retry_limit() const { return retry_limit_; }
+  int64_t retry_limit() const {
+    return retry_limit_.load(std::memory_order_relaxed);
+  }
   /// SET RETRY BACKOFF <micros>: first retry delay; doubles per attempt
   /// (plus deterministic jitter).
   Status SetRetryBackoff(int64_t micros);
-  int64_t retry_backoff_micros() const { return retry_backoff_micros_; }
+  int64_t retry_backoff_micros() const {
+    return retry_backoff_micros_.load(std::memory_order_relaxed);
+  }
 
   /// Bound on how long a BLOCK-policy ingest waits for headroom before
   /// admitting anyway (BLOCK is lossless; it trades latency, not rows).
   void SetBlockTimeoutMicros(int64_t micros) {
-    block_timeout_micros_ = micros < 0 ? 0 : micros;
+    block_timeout_micros_.store(micros < 0 ? 0 : micros,
+                                std::memory_order_relaxed);
   }
-  int64_t block_timeout_micros() const { return block_timeout_micros_; }
+  int64_t block_timeout_micros() const {
+    return block_timeout_micros_.load(std::memory_order_relaxed);
+  }
 
   /// Per-stream admission accounting. Invariant for every batch pushed
   /// through Ingest: pushed == admitted + shed + quarantined (plus any
@@ -168,11 +204,17 @@ class StreamRuntime {
   };
   OverloadCounters overload_counters(const std::string& stream) const;
 
-  int64_t sink_retries() const { return retries_; }
-  int64_t sink_retries_exhausted() const { return retries_exhausted_; }
+  int64_t sink_retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  int64_t sink_retries_exhausted() const {
+    return retries_exhausted_.load(std::memory_order_relaxed);
+  }
   /// Quarantine rows dropped because the quarantine stream itself could
   /// not accept them (never fails the source batch).
-  int64_t quarantine_dropped() const { return quarantine_dropped_; }
+  int64_t quarantine_dropped() const {
+    return quarantine_dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Dead-letter stream name for `stream` (lowercased base +
   /// ".__quarantine").
@@ -190,6 +232,7 @@ class StreamRuntime {
   /// Serializes a generic CQ's window-operator state (checkpoint strategy).
   /// Shared-strategy CQs return NotImplemented: their data lives in the
   /// slice aggregator, so a window-operator blob would restore empty.
+  /// Recovery entry points run under the exclusive engine lock.
   Result<std::string> SerializeCqState(const std::string& name) const;
   Status RestoreCqState(const std::string& name, const std::string& blob);
 
@@ -206,7 +249,9 @@ class StreamRuntime {
   std::vector<std::string> CqNames() const;
 
   /// Rows ingested across all raw streams (benchmark accounting).
-  int64_t rows_ingested() const { return rows_ingested_; }
+  int64_t rows_ingested() const {
+    return rows_ingested_.load(std::memory_order_relaxed);
+  }
 
   catalog::Catalog* catalog() { return catalog_; }
 
@@ -218,8 +263,16 @@ class StreamRuntime {
   /// Pulls structural state (live slices, pipeline membership, subscriber
   /// counts, watermarks, object counts) into registry gauges. Hot-path
   /// counters are pushed inline; call this before taking a Snapshot so the
-  /// pull-style gauges are current too.
+  /// pull-style gauges are current too. Runs safely under a shared engine
+  /// hold concurrent with ingest.
   void RefreshMetricsGauges();
+
+  /// Lock-contention accounting for the internal ranked locks, surfaced
+  /// under `engine/lock` in SHOW STATS.
+  const OrderedMutex* shard_lock() const { return &shard_mu_; }
+  const OrderedMutex* dml_lock() const { return &dml_mu_; }
+  /// Sums acquisitions/contended over every per-stream ingest lock.
+  void StreamLockStats(int64_t* acquisitions, int64_t* contended) const;
 
  private:
   struct Subscription {
@@ -230,11 +283,28 @@ class StreamRuntime {
     bool feed_rows = true;
   };
 
+  struct PendingQuarantine {
+    std::string stream;  // base stream the row was rejected from
+    Row row;             // (qtime, reason, detail, row_data)
+  };
+
+  /// Per-stream runtime state. Held by pointer in `streams_` so the ingest
+  /// lock (non-movable) and pointers handed out under `maps_mu_` stay
+  /// stable across concurrent registrations.
   struct StreamState {
     catalog::StreamInfo* info = nullptr;
-    int64_t watermark = INT64_MIN;
+    /// The stream's ingest lock (rank kStream). Same-rank nesting is
+    /// allowed: a derived-stream cascade locks the downstream stream while
+    /// holding the upstream one, and cascades form a forest, so cross-chain
+    /// deadlock is impossible.
+    OrderedMutex mu{LockRank::kStream, /*allow_same_rank=*/true,
+                    "stream ingest"};
+    /// Watermark is written only by the ingest-lock holder but read by
+    /// observability and admission paths that hold no stream lock.
+    std::atomic<int64_t> watermark{INT64_MIN};
     /// Global arrival sequence number of the next ingested row; shards use
     /// it to restore exact arrival order when merging partial aggregates.
+    /// Guarded by `mu`.
     int64_t ingest_seq = 0;
     std::vector<Subscription> subs;
     std::vector<Channel*> channels;        // owned by channels_
@@ -249,16 +319,32 @@ class StreamRuntime {
     Counter* batches_published_metric = nullptr;
     Counter* rows_published_metric = nullptr;
     Gauge* watermark_metric = nullptr;
-    /// Overload admission state (authoritative; mirrored into the
-    /// `overload` metric scope on RefreshMetricsGauges).
+    /// Overload admission state. The policy is mutated only under the
+    /// exclusive engine lock; counters are bumped under the ingest lock
+    /// but read by SHOW STATS with no stream lock, hence atomic.
     OverloadPolicy policy = OverloadPolicy::kBlock;
-    OverloadCounters overload;
+    struct AtomicOverload {
+      std::atomic<int64_t> rows_admitted{0};
+      std::atomic<int64_t> rows_shed{0};
+      std::atomic<int64_t> rows_quarantined{0};
+      std::atomic<int64_t> blocked_micros{0};
+    };
+    AtomicOverload overload;
+    /// Dead-letter rows collected while this stream's ingest lock is held;
+    /// swapped out and published when the outermost ingest on this stream
+    /// unwinds (guarded by `mu`).
+    std::vector<PendingQuarantine> pending_quarantine;
+    /// Nesting depth of ingest on this stream (delivery callbacks may
+    /// re-enter); guarded by `mu`.
+    int ingest_depth = 0;
   };
 
   StreamState* GetState(const std::string& name);
   const StreamState* GetState(const std::string& name) const;
 
-  /// Delivers a produced batch to a (derived) stream's subscribers.
+  /// Delivers a produced batch to a (derived) stream's subscribers. Locks
+  /// the derived stream's ingest mutex (nested under the source stream's —
+  /// legal same-rank nesting along a cascade).
   Status PublishBatch(const std::string& stream, int64_t close,
                       const std::vector<Row>& rows);
 
@@ -266,68 +352,91 @@ class StreamRuntime {
 
   Status AttachCqSubscription(ContinuousQuery* cq);
 
-  Status IngestImpl(const std::string& stream, const std::vector<Row>& rows,
-                    int64_t system_time);
+  /// The locking wrapper around IngestImpl: registers the stream if
+  /// needed, takes the shard-fleet lock (when workers exist and the thread
+  /// does not already hold it) then the stream's ingest lock, and flushes
+  /// the stream's pending dead-letter rows after releasing both.
+  /// `quarantine_flush` marks re-entry from FlushQuarantine: admission is
+  /// bypassed and rejected rows are dropped (counted) instead of recursing.
+  Status IngestEntry(const std::string& stream, const std::vector<Row>& rows,
+                     int64_t system_time, bool quarantine_flush);
+
+  Status IngestImpl(StreamState* state, const std::vector<Row>& rows,
+                    int64_t system_time, bool quarantine_flush);
 
   /// Parallel twin of the Ingest row loop: stamps/validates on the
   /// coordinator, hash-partitions rows to the worker shards, and barriers
   /// before evaluating any window close so merges see complete partials.
+  /// Runs with the shard-fleet lock held.
   Status IngestParallel(StreamState* state, const std::vector<Row>& rows,
-                        int64_t system_time, size_t begin, size_t end);
+                        int64_t system_time, size_t begin, size_t end,
+                        bool quarantine_flush);
 
   /// Admission pre-pass: decides the contiguous [*begin, *end) slice of
   /// `rows` that gets in under the current policy/headroom and counts the
   /// rest as shed. No-op (full batch) when under budget.
   void AdmitBatch(StreamState* state, const std::vector<Row>& rows,
-                  size_t* begin, size_t* end);
+                  size_t* begin, size_t* end, bool quarantine_flush);
 
   /// Records one rejected row into the stream's pending dead-letter batch
-  /// (flushed when the outermost runtime entry returns).
+  /// (flushed when the outermost ingest on the stream returns).
   void QuarantineRow(StreamState* state, const char* reason,
-                     std::string detail, const Row& row);
-  void FlushQuarantine();
+                     std::string detail, const Row& row,
+                     bool quarantine_flush);
+  /// Publishes a swapped-out dead-letter batch. Called with no ranked
+  /// locks held: each row is an ordinary ingest into the dead-letter
+  /// stream (marked quarantine_flush so it can never recurse).
+  void FlushQuarantine(std::vector<PendingQuarantine> batch);
 
   /// Runs `op` with bounded retry on transient (kIoError, non-crash)
-  /// failures: retry_limit_ total attempts, exponential backoff with
-  /// deterministic jitter between them.
+  /// failures: retry-limit total attempts, exponential backoff with
+  /// deterministic jitter between them. Each attempt runs under the DML
+  /// lock; backoff sleeps run with it released.
   Status WithSinkRetry(const std::function<Status()>& op);
 
   /// Folds the workers' cumulative stats into the `shard` scope metrics
-  /// (delta counters; call only while workers are idle).
+  /// (delta counters; serialized internally so concurrent gauge refreshes
+  /// and ingest barriers do not double-count).
   void UpdateShardMetrics();
 
   catalog::Catalog* catalog_;
   storage::TransactionManager* txns_;
   storage::WriteAheadLog* wal_;
 
-  std::map<std::string, StreamState> streams_;  // lowercased name
-  int64_t next_client_sub_id_ = 1;
+  /// Leaf mutex guarding the structure of `streams_` (lookups and lazy
+  /// registration insert under a shared engine hold). StreamState objects
+  /// are heap-allocated, so pointers survive concurrent inserts; erases
+  /// happen only under the exclusive engine lock.
+  mutable std::mutex maps_mu_;
+  std::map<std::string, std::unique_ptr<StreamState>> streams_;  // lowercase
+  std::atomic<int64_t> next_client_sub_id_{1};
   std::map<std::string, std::unique_ptr<ContinuousQuery>> cqs_;
   std::map<std::string, std::unique_ptr<Channel>> channels_;
   SliceAggregatorRegistry registry_;
-  int64_t rows_ingested_ = 0;
+  std::atomic<int64_t> rows_ingested_{0};
   MetricsRegistry metrics_;
   Counter* engine_rows_metric_ = nullptr;  // engine-wide ingest total
 
+  /// Serializes use of the shared worker fleet (rank kShard): replica
+  /// pipeline state is engine-wide, so parallel ingest batches take turns.
+  /// Taken before any stream lock; holding it implies the workers are
+  /// idle between batches (IngestParallel barriers before returning).
+  OrderedMutex shard_mu_{LockRank::kShard, /*allow_same_rank=*/false,
+                         "shard fleet"};
+  /// Serializes table writes (rank kDml): SQL DML and channel sinks.
+  OrderedMutex dml_mu_{LockRank::kDml, /*allow_same_rank=*/false,
+                       "table dml"};
+
   // --- overload protection state ---
   MemoryGovernor governor_;
-  int64_t retry_limit_ = 1;              // total attempts; 1 = no retries
-  int64_t retry_backoff_micros_ = 1000;  // first retry delay
-  int64_t block_timeout_micros_ = 10000;
-  int64_t retries_ = 0;
-  int64_t retries_exhausted_ = 0;
-  int64_t quarantine_dropped_ = 0;
-  struct PendingQuarantine {
-    std::string stream;  // base stream the row was rejected from
-    Row row;             // (qtime, reason, detail, row_data)
-  };
-  std::vector<PendingQuarantine> pending_quarantine_;
-  /// Nesting depth of Ingest (delivery callbacks may re-enter); the
-  /// quarantine buffer flushes when the outermost call unwinds.
-  int ingest_depth_ = 0;
-  bool flushing_quarantine_ = false;
+  std::atomic<int64_t> retry_limit_{1};  // total attempts; 1 = no retries
+  std::atomic<int64_t> retry_backoff_micros_{1000};  // first retry delay
+  std::atomic<int64_t> block_timeout_micros_{10000};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> retries_exhausted_{0};
+  std::atomic<int64_t> quarantine_dropped_{0};
 
-  int parallelism_ = 1;
+  std::atomic<int> parallelism_{1};
   /// Cached `shard` scope metric cells plus the last folded-in worker
   /// totals (workers expose cumulative stats; the registry gets deltas).
   struct ShardMetricCells {
@@ -339,6 +448,9 @@ class StreamRuntime {
     int64_t last_chunks = 0;
     int64_t last_backpressure = 0;
   };
+  /// Leaf mutex for the delta fold in UpdateShardMetrics (callable from an
+  /// ingest barrier and from concurrent SHOW STATS refreshes).
+  mutable std::mutex shard_metrics_mu_;
   std::vector<ShardMetricCells> shard_cells_;
   /// Declared after registry_ so workers (which reference pipeline shard
   /// state while draining) are joined before the registry is destroyed.

@@ -19,12 +19,13 @@ ShardWorker::~ShardWorker() {
 void ShardWorker::Push(ShardChunk chunk) {
   std::unique_lock<std::mutex> lock(mu_);
   if (queue_.size() >= capacity_) {
-    ++backpressure_waits_;
+    backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
     producer_cv_.wait(lock, [this] { return queue_.size() < capacity_; });
   }
   queue_.push_back(std::move(chunk));
-  if (static_cast<int64_t>(queue_.size()) > max_queue_depth_) {
-    max_queue_depth_ = static_cast<int64_t>(queue_.size());
+  const int64_t depth = static_cast<int64_t>(queue_.size());
+  if (depth > max_queue_depth_.load(std::memory_order_relaxed)) {
+    max_queue_depth_.store(depth, std::memory_order_relaxed);
   }
   lock.unlock();
   worker_cv_.notify_one();
@@ -71,8 +72,8 @@ void ShardWorker::Loop() {
 
     lock.lock();
     busy_ = false;
-    rows_processed_ += done;
-    ++chunks_processed_;
+    rows_processed_.fetch_add(done, std::memory_order_relaxed);
+    chunks_processed_.fetch_add(1, std::memory_order_relaxed);
     if (!status.ok() && error_.ok()) error_ = status;
     // Wake WaitIdle (and capacity waiters) now that the chunk retired.
     producer_cv_.notify_one();

@@ -1,6 +1,7 @@
 #ifndef STREAMREL_STREAM_SHARD_POOL_H_
 #define STREAMREL_STREAM_SHARD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -68,11 +69,21 @@ class ShardWorker {
   /// read). Meaningful only after WaitIdle.
   Status TakeError();
 
-  // Cumulative stats; read by the coordinator while the worker is idle.
-  int64_t rows_processed() const { return rows_processed_; }
-  int64_t chunks_processed() const { return chunks_processed_; }
-  int64_t backpressure_waits() const { return backpressure_waits_; }
-  int64_t max_queue_depth() const { return max_queue_depth_; }
+  // Cumulative stats. Atomic so observability (SHOW STATS refreshing shard
+  // gauges) can read them while the worker is mid-chunk; values are
+  // monotonic, so a slightly stale read is harmless.
+  int64_t rows_processed() const {
+    return rows_processed_.load(std::memory_order_relaxed);
+  }
+  int64_t chunks_processed() const {
+    return chunks_processed_.load(std::memory_order_relaxed);
+  }
+  int64_t backpressure_waits() const {
+    return backpressure_waits_.load(std::memory_order_relaxed);
+  }
+  int64_t max_queue_depth() const {
+    return max_queue_depth_.load(std::memory_order_relaxed);
+  }
 
  private:
   void Loop();
@@ -88,11 +99,12 @@ class ShardWorker {
   bool stop_ = false;                    // guarded by mu_
   Status error_;                         // guarded by mu_
   // Stats are written by the worker under mu_ at chunk completion and by
-  // the producer under mu_ in Push; readers run while the worker is idle.
-  int64_t rows_processed_ = 0;
-  int64_t chunks_processed_ = 0;
-  int64_t backpressure_waits_ = 0;
-  int64_t max_queue_depth_ = 0;
+  // the producer under mu_ in Push; atomic so gauge refreshes can sample
+  // them without joining the queue lock.
+  std::atomic<int64_t> rows_processed_{0};
+  std::atomic<int64_t> chunks_processed_{0};
+  std::atomic<int64_t> backpressure_waits_{0};
+  std::atomic<int64_t> max_queue_depth_{0};
 
   std::thread thread_;  // last member: starts after state is ready
 };

@@ -61,9 +61,14 @@ void SliceAggregator::BindGovernor(MemoryGovernor* governor) {
 }
 
 bool SliceAggregator::HasAbsorbed() const {
-  if (rows_absorbed_ > 0 || !slices_.empty()) return true;
+  if (rows_absorbed_.load(std::memory_order_relaxed) > 0 || !slices_.empty()) {
+    return true;
+  }
   for (const auto& shard : shards_) {
-    if (shard->rows_absorbed_ > 0 || !shard->slices_.empty()) return true;
+    if (shard->rows_absorbed_.load(std::memory_order_relaxed) > 0 ||
+        !shard->slices_.empty()) {
+      return true;
+    }
   }
   return false;
 }
@@ -158,7 +163,9 @@ Status SliceAggregator::AddRow(int64_t ts, const Row& row, int64_t seq) {
   int64_t q = ts / slice_width_;
   if (ts % slice_width_ != 0 && ts < 0) --q;  // floor division
   int64_t slice_start = q * slice_width_;
-  Slice& slice = slices_[slice_start];
+  auto [slice_it, created] = slices_.try_emplace(slice_start);
+  if (created) live_slice_count_.fetch_add(1, std::memory_order_relaxed);
+  Slice& slice = slice_it->second;
 
   std::vector<Value> keys;
   keys.reserve(group_exprs().size());
@@ -177,7 +184,7 @@ Status SliceAggregator::AddRow(int64_t ts, const Row& row, int64_t seq) {
     }
     group->states[i]->Update(arg);
   }
-  ++rows_absorbed_;
+  rows_absorbed_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -304,19 +311,24 @@ void SliceAggregator::EvictBefore(int64_t ts) {
       governor_->Release(MemoryGovernor::Account::kAggregator, bytes);
     }
     slices_.erase(slices_.begin());
+    live_slice_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   for (auto& shard : shards_) shard->EvictBefore(ts);
 }
 
 size_t SliceAggregator::live_slices() const {
-  size_t n = slices_.size();
-  for (const auto& shard : shards_) n += shard->slices_.size();
-  return n;
+  int64_t n = live_slice_count_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    n += shard->live_slice_count_.load(std::memory_order_relaxed);
+  }
+  return static_cast<size_t>(n);
 }
 
 int64_t SliceAggregator::rows_absorbed() const {
-  int64_t n = rows_absorbed_;
-  for (const auto& shard : shards_) n += shard->rows_absorbed_;
+  int64_t n = rows_absorbed_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    n += shard->rows_absorbed_.load(std::memory_order_relaxed);
+  }
   return n;
 }
 
@@ -333,14 +345,18 @@ Status SliceAggregator::FoldShardsIn() {
         entries.push_back(Entry{g.first_seq, &g});
       }
     }
-    rows_absorbed_ += shard->rows_absorbed_;
+    rows_absorbed_.fetch_add(
+        shard->rows_absorbed_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
   for (auto& [start, entries] : by_slice) {
     std::stable_sort(entries.begin(), entries.end(),
                      [](const Entry& a, const Entry& b) {
                        return a.first_seq < b.first_seq;
                      });
-    Slice& dst = slices_[start];
+    auto [dst_it, dst_created] = slices_.try_emplace(start);
+    if (dst_created) live_slice_count_.fetch_add(1, std::memory_order_relaxed);
+    Slice& dst = dst_it->second;
     for (const Entry& e : entries) {
       size_t h = exec::HashValues(e.group->keys);
       auto& bucket = dst.lookup[h];

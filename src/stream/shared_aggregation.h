@@ -1,6 +1,7 @@
 #ifndef STREAMREL_STREAM_SHARED_AGGREGATION_H_
 #define STREAMREL_STREAM_SHARED_AGGREGATION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -176,7 +177,12 @@ class SliceAggregator {
   std::vector<exec::BoundExprPtr> group_exprs_;
   std::vector<exec::AggregateCall> calls_;  // the union
   std::map<int64_t, Slice> slices_;         // keyed by slice start time
-  int64_t rows_absorbed_ = 0;
+  // Atomics: bumped under the owning stream's ingest lock (or by the
+  // owning shard worker), but read by concurrent SHOW STATS holding only
+  // the shared engine lock. live_slice_count_ mirrors slices_.size() so
+  // observability never has to walk the map a writer may be growing.
+  std::atomic<int64_t> rows_absorbed_{0};
+  std::atomic<int64_t> live_slice_count_{0};
   int64_t max_visible_ = 0;
   int64_t member_cqs_ = 0;
 

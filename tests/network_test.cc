@@ -479,7 +479,21 @@ TEST_F(NetworkTest, NetReadFaultKillsConnectionEngineSurvives) {
   EXPECT_EQ(r2->rows[0][0].AsInt64(), 7);
 }
 
-TEST_F(NetworkTest, NetWriteFaultMidSubscriptionNeverCorruptsEngine) {
+// FailOnce on net.write needs a deterministic "first write after the
+// engine call". With the request-worker pool the subscriber's push (woken
+// by the window close) can race the driver's ACK to the socket, and the
+// fault would kill the subscriber instead. Inline dispatch restores the
+// fixed ordering: the driver's ACK is flushed inside the loop thread's
+// frame handling, before the push queue is serviced.
+class InlineDispatchTest : public NetworkTest {
+ protected:
+  void SetUp() override {
+    options_.worker_threads = 0;
+    NetworkTest::SetUp();
+  }
+};
+
+TEST_F(InlineDispatchTest, NetWriteFaultMidSubscriptionNeverCorruptsEngine) {
   Client client = MakeClient();
   CreateAggPipeline(&client);
   ASSERT_TRUE(client.Subscribe("agg", kRpcTimeout).ok());
